@@ -1,0 +1,41 @@
+//! Criterion benches for the DESIGN.md §6 ablation studies. Each bench
+//! runs the corresponding ablation harness at a reduced duration; the
+//! quality metrics themselves are printed by `repro ablations`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wdm_bench::extras;
+
+const MINUTES: f64 = 0.1;
+const SEED: u64 = 1999;
+
+fn bench_dpc_discipline(c: &mut Criterion) {
+    c.bench_function("ablation/dpc_discipline", |b| {
+        b.iter(|| std::hint::black_box(extras::ablate_dpc_discipline(MINUTES, SEED)))
+    });
+}
+
+fn bench_pit_frequency(c: &mut Criterion) {
+    c.bench_function("ablation/pit_frequency", |b| {
+        b.iter(|| std::hint::black_box(extras::ablate_pit_frequency(MINUTES, SEED)))
+    });
+}
+
+fn bench_quantum(c: &mut Criterion) {
+    c.bench_function("ablation/quantum", |b| {
+        b.iter(|| std::hint::black_box(extras::ablate_quantum(MINUTES, SEED)))
+    });
+}
+
+fn bench_tail_family(c: &mut Criterion) {
+    c.bench_function("ablation/tail_family", |b| {
+        b.iter(|| std::hint::black_box(extras::ablate_tail_family(MINUTES, SEED)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dpc_discipline, bench_pit_frequency, bench_quantum,
+              bench_tail_family
+}
+criterion_main!(benches);

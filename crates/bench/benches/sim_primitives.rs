@@ -1,0 +1,114 @@
+//! Criterion microbenchmarks of the simulator primitives: how fast the
+//! substrate itself runs. These guard against performance regressions that
+//! would make the full-collection reproduction runs impractical.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use wdm_latency::{histogram::LatencyHistogram, tool::MeasurementSession};
+use wdm_osmodel::personality::OsKind;
+use wdm_sim::prelude::*;
+use wdm_workloads::{build_scenario, ScenarioOptions, WorkloadKind};
+
+/// One simulated second of an idle kernel (PIT only).
+fn bench_idle_kernel(c: &mut Criterion) {
+    c.bench_function("sim/idle_kernel_1s", |b| {
+        b.iter_batched(
+            || Kernel::new(KernelConfig::default()),
+            |mut k| k.run_for(Cycles::from_ms(1_000.0)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// One simulated second with the full measurement session installed.
+fn bench_measured_kernel(c: &mut Criterion) {
+    c.bench_function("sim/measured_kernel_1s", |b| {
+        b.iter_batched(
+            || {
+                let mut k = Kernel::new(KernelConfig::default());
+                let s = MeasurementSession::install(&mut k, 1.0);
+                (k, s)
+            },
+            |(mut k, _s)| k.run_for(Cycles::from_ms(1_000.0)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// One simulated second of the heaviest cell (Win98 + 3D games).
+fn bench_games_cell(c: &mut Criterion) {
+    c.bench_function("sim/win98_games_cell_1s", |b| {
+        b.iter_batched(
+            || {
+                build_scenario(
+                    OsKind::Win98,
+                    WorkloadKind::Games,
+                    7,
+                    &ScenarioOptions::default(),
+                )
+            },
+            |mut s| s.kernel.run_for(Cycles::from_ms(1_000.0)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Event signal -> thread dispatch round trips.
+fn bench_event_roundtrip(c: &mut Criterion) {
+    c.bench_function("sim/event_signal_roundtrip_1000x", |b| {
+        b.iter_batched(
+            || {
+                let mut k = Kernel::new(KernelConfig::default());
+                let evt = k.create_event(EventKind::Synchronization, false);
+                let slot = k.alloc_slots(1);
+                let _t = k.create_thread(
+                    "waiter",
+                    28,
+                    Box::new(LoopSeq::new(vec![
+                        Step::Wait(WaitObject::Event(evt)),
+                        Step::ReadTsc(slot),
+                    ])),
+                );
+                let dpc = k.create_dpc(
+                    "sig",
+                    DpcImportance::Medium,
+                    Box::new(OpSeq::new(vec![Step::SetEvent(evt), Step::Return])),
+                );
+                let timer = k.create_timer(Some(dpc));
+                let _armer = k.create_thread(
+                    "armer",
+                    16,
+                    Box::new(OpSeq::new(vec![Step::SetTimer {
+                        timer,
+                        due: Cycles::from_ms(1.0),
+                        period: Some(Cycles::from_ms(1.0)),
+                    }])),
+                );
+                k
+            },
+            // 1000 timer->DPC->event->thread cycles.
+            |mut k| k.run_for(Cycles::from_ms(1_000.0)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Histogram recording throughput.
+fn bench_histogram(c: &mut Criterion) {
+    c.bench_function("latency/histogram_record_100k", |b| {
+        b.iter(|| {
+            let mut h = LatencyHistogram::fig4();
+            for i in 0..100_000u64 {
+                h.record_ms((i % 977) as f64 * 0.013);
+            }
+            std::hint::black_box(h.count())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_idle_kernel, bench_measured_kernel, bench_games_cell,
+              bench_event_roundtrip, bench_histogram
+}
+criterion_main!(benches);

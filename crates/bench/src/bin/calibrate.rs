@@ -1,0 +1,93 @@
+//! Calibration harness: prints measured latency tails per OS x workload
+//! cell next to the paper's Table 3 targets so the model parameters in
+//! `wdm-osmodel`/`wdm-workloads` can be tuned.
+//!
+//! Usage: `calibrate [sim_minutes] [seed]` (defaults: 2 minutes, seed 42).
+
+use wdm_latency::session::{measure_scenario, MeasureOptions};
+use wdm_latency::worstcase::{worst_cases, LatencySeries};
+use wdm_osmodel::personality::OsKind;
+use wdm_workloads::WorkloadKind;
+
+/// Paper Table 3 (Windows 98) weekly worst cases, ms:
+/// (int->ISR, int->DPC, int->thread-high) per workload.
+const PAPER_WK_98: [(WorkloadKind, f64, f64, f64); 4] = [
+    (WorkloadKind::Business, 1.6, 2.0, 33.0),
+    (WorkloadKind::Workstation, 6.3, 6.9, 31.0),
+    (WorkloadKind::Games, 12.2, 14.0, 84.0),
+    (WorkloadKind::Web, 3.5, 3.8, 84.0),
+];
+
+fn wk(series: &LatencySeries, collected: f64, windows: (f64, f64, f64)) -> (f64, f64, f64) {
+    let w = worst_cases(series, collected, windows.0, windows.1, windows.2);
+    (w.hourly, w.daily, w.weekly)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let minutes: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2.0);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let hours = minutes / 60.0;
+    println!("calibration: {minutes} simulated minutes per cell, seed {seed}\n");
+
+    for os in OsKind::ALL {
+        for wl in WorkloadKind::ALL {
+            let t0 = std::time::Instant::now();
+            let m = measure_scenario(os, wl, seed, hours, &MeasureOptions::default());
+            let wall = t0.elapsed().as_secs_f64();
+            let windows = m.usage.windows();
+            let isr = wk(&m.int_to_isr, hours, windows);
+            let dpc = wk(&m.int_to_dpc, hours, windows);
+            let t28 = wk(&m.thread_int_28, hours, windows);
+            let t24 = wk(&m.thread_int_24, hours, windows);
+            println!(
+                "{:<16} {:<16} [wall {wall:.1}s, ops {}]",
+                os.name(),
+                wl.name(),
+                m.ops_completed
+            );
+            println!(
+                "  int->ISR    hr/day/wk {:>7.2} {:>7.2} {:>7.2}   (max obs {:>7.2}, n {})",
+                isr.0,
+                isr.1,
+                isr.2,
+                m.int_to_isr.hist.max_ms(),
+                m.int_to_isr.hist.count()
+            );
+            println!(
+                "  int->DPC    hr/day/wk {:>7.2} {:>7.2} {:>7.2}   (max obs {:>7.2}, n {})",
+                dpc.0,
+                dpc.1,
+                dpc.2,
+                m.int_to_dpc.hist.max_ms(),
+                m.int_to_dpc.hist.count()
+            );
+            println!(
+                "  int->thr28  hr/day/wk {:>7.2} {:>7.2} {:>7.2}   (max obs {:>7.2}, n {})",
+                t28.0,
+                t28.1,
+                t28.2,
+                m.thread_int_28.hist.max_ms(),
+                m.thread_int_28.hist.count()
+            );
+            println!(
+                "  int->thr24  hr/day/wk {:>7.2} {:>7.2} {:>7.2}   (max obs {:>7.2}, n {})",
+                t24.0,
+                t24.1,
+                t24.2,
+                m.thread_int_24.hist.max_ms(),
+                m.thread_int_24.hist.count()
+            );
+            if os == OsKind::Win98 {
+                if let Some(&(_, p_isr, p_dpc, p_thr)) =
+                    PAPER_WK_98.iter().find(|&&(k, ..)| k == wl)
+                {
+                    println!(
+                        "  paper (98)  weekly targets: int->ISR {p_isr}, int->DPC {p_dpc}, int->thr {p_thr}"
+                    );
+                }
+            }
+            println!();
+        }
+    }
+}

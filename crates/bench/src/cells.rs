@@ -1,0 +1,126 @@
+//! Measurement-cell management: one cell = one OS x workload run.
+//!
+//! The expensive part of every figure/table is collecting the latency
+//! distributions; this module runs the 8 cells once (at quick or full
+//! paper-equivalent durations) so the renderers can share them.
+
+use wdm_latency::session::{measure_scenario, MeasureOptions, ScenarioMeasurement};
+use wdm_osmodel::personality::OsKind;
+use wdm_workloads::{UsageModel, WorkloadKind};
+
+/// How long to simulate each cell.
+#[derive(Debug, Clone, Copy)]
+pub enum Duration {
+    /// A fixed number of simulated minutes per cell (quick mode).
+    Minutes(f64),
+    /// The paper's full collection time per workload (§3.1): 4 h Business,
+    /// 6 h Workstation, 12.5 h Games, 8 h Web.
+    FullCollection,
+}
+
+impl Duration {
+    /// Simulated hours for a workload under this policy.
+    pub fn hours_for(&self, w: WorkloadKind) -> f64 {
+        match self {
+            Duration::Minutes(m) => m / 60.0,
+            Duration::FullCollection => UsageModel::of(w).collect_hours_per_week(),
+        }
+    }
+}
+
+/// Run configuration shared by all harnesses.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Per-cell duration policy.
+    pub duration: Duration,
+    /// Base RNG seed; each cell perturbs it deterministically.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> RunConfig {
+        RunConfig {
+            duration: Duration::Minutes(2.0),
+            seed: 1999, // OSDI '99.
+        }
+    }
+}
+
+/// Deterministic per-cell seed.
+pub fn cell_seed(base: u64, os: OsKind, w: WorkloadKind) -> u64 {
+    let os_ix = match os {
+        OsKind::Nt4 => 1,
+        OsKind::Win98 => 2,
+        OsKind::Win2000 => 3,
+    };
+    let w_ix = WorkloadKind::ALL.iter().position(|&x| x == w).unwrap() as u64;
+    base.wrapping_mul(1_000_003) ^ (os_ix * 97) ^ (w_ix * 1009)
+}
+
+/// Measures one cell with default tool options.
+pub fn measure_cell(cfg: &RunConfig, os: OsKind, w: WorkloadKind) -> ScenarioMeasurement {
+    measure_scenario(
+        os,
+        w,
+        cell_seed(cfg.seed, os, w),
+        cfg.duration.hours_for(w),
+        &MeasureOptions::default(),
+    )
+}
+
+/// All 8 cells (2 OSs x 4 workloads), NT first, paper workload order.
+pub struct AllCells {
+    /// NT 4.0 cells in workload order.
+    pub nt: Vec<ScenarioMeasurement>,
+    /// Windows 98 cells in workload order.
+    pub win98: Vec<ScenarioMeasurement>,
+}
+
+/// Measures all 8 cells.
+pub fn measure_all(cfg: &RunConfig) -> AllCells {
+    let run = |os| {
+        WorkloadKind::ALL
+            .iter()
+            .map(|&w| measure_cell(cfg, os, w))
+            .collect()
+    };
+    AllCells {
+        nt: run(OsKind::Nt4),
+        win98: run(OsKind::Win98),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_collection_hours_match_paper() {
+        let d = Duration::FullCollection;
+        assert!((d.hours_for(WorkloadKind::Business) - 4.0).abs() < 1e-9);
+        assert!((d.hours_for(WorkloadKind::Games) - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cell_seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for os in OsKind::ALL {
+            for w in WorkloadKind::ALL {
+                assert!(seen.insert(cell_seed(7, os, w)));
+            }
+        }
+    }
+
+    #[test]
+    fn quick_cell_measures() {
+        let cfg = RunConfig {
+            duration: Duration::Minutes(0.05),
+            seed: 3,
+        };
+        let m = measure_cell(&cfg, OsKind::Nt4, WorkloadKind::Web);
+        // Every-tick series sees ~3k samples in 3 s; the per-round series
+        // is bounded by tool cadence.
+        assert!(m.int_to_isr_all_ticks.hist.count() > 1000);
+        assert!(m.int_to_isr.hist.count() > 200);
+    }
+}

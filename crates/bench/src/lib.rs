@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # wdm-bench — harnesses regenerating every table and figure
+//!
+//! One module per artifact family:
+//!
+//! - [`cells`] — shared OS x workload measurement runs;
+//! - [`tables`] — Tables 1–4;
+//! - [`figures`] — Figures 4–7;
+//! - [`extras`] — the throughput check (§4.2), MTTF cross-validation
+//!   (§6.1), schedulability analysis (§5.2) and the DESIGN.md ablations.
+//!
+//! The `repro` binary is the CLI; the Criterion benches in `benches/` time
+//! the same harnesses.
+
+pub mod cells;
+pub mod extras;
+pub mod figures;
+pub mod output;
+pub mod tables;
+
+pub use cells::{measure_all, AllCells, Duration, RunConfig};

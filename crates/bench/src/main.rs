@@ -1,0 +1,181 @@
+//! `repro` — regenerate the tables and figures of the OSDI '99 paper
+//! *"A Comparison of Windows Driver Model Latency Performance on Windows NT
+//! and Windows 98"* on the simulated substrate.
+//!
+//! ```text
+//! repro <artifact> [--minutes N | --full] [--seed S]
+//!
+//! artifacts:
+//!   table1 table2 table3 table4 figure4 figure5 figure6 figure7
+//!   throughput validate-mttf sched feasibility win2000 microbench interactive stability ablations all
+//! ```
+//!
+//! `--full` collects for the paper's §3.1 durations (4–12.5 simulated hours
+//! per cell); the default is 2 simulated minutes per cell, which reproduces
+//! the shape but under-samples the weekly tails.
+
+use wdm_bench::{
+    cells::{measure_all, Duration, RunConfig},
+    extras, figures, output, tables,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut artifact = None;
+    let mut duration = Duration::Minutes(2.0);
+    let mut seed = 1999u64;
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--minutes" => {
+                i += 1;
+                let m = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--minutes requires a number");
+                duration = Duration::Minutes(m);
+            }
+            "--full" => duration = Duration::FullCollection,
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed requires an integer");
+            }
+            "--out" => {
+                i += 1;
+                out_dir = Some(
+                    args.get(i)
+                        .map(std::path::PathBuf::from)
+                        .expect("--out requires a directory"),
+                );
+            }
+            a if !a.starts_with('-') && artifact.is_none() => {
+                artifact = Some(a.to_string());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let artifact = artifact.unwrap_or_else(|| "all".to_string());
+    let cfg = RunConfig { duration, seed };
+    let minutes = match duration {
+        Duration::Minutes(m) => m,
+        Duration::FullCollection => 30.0,
+    };
+
+    // Artifacts that need the 8 measured cells share one run.
+    let needs_cells = matches!(
+        artifact.as_str(),
+        "table3" | "figure4" | "figure6" | "figure7" | "throughput" | "sched" | "feasibility"
+            | "all"
+    );
+    let cells = if needs_cells {
+        eprintln!("measuring 8 OS x workload cells ({duration:?}, seed {seed})...");
+        Some(measure_all(&cfg))
+    } else {
+        None
+    };
+    let cells = cells.as_ref();
+
+    match artifact.as_str() {
+        "table1" => print!("{}", tables::table1()),
+        "table2" => print!("{}", tables::table2()),
+        "table3" => {
+            print!("{}", tables::table3(cells.unwrap()));
+            println!();
+            print!("{}", tables::table3_nt(cells.unwrap()));
+        }
+        "table4" => print!("{}", tables::table4(&cfg)),
+        "figure4" => {
+            print!("{}", figures::figure4(cells.unwrap()));
+            if let Some(dir) = &out_dir {
+                for f in output::write_figure4(cells.unwrap(), dir).expect("tsv") {
+                    eprintln!("wrote {f}");
+                }
+            }
+        }
+        "figure5" => {
+            let f = figures::figure5(&cfg);
+            print!("{}", figures::render_figure5(&f));
+            if let Some(dir) = &out_dir {
+                eprintln!("wrote {}", output::write_figure5(&f, dir).expect("tsv"));
+            }
+        }
+        "figure6" | "figure7" => {
+            print!("{}", figures::figures_6_7(cells.unwrap()));
+            if let Some(dir) = &out_dir {
+                for f in output::write_figures_6_7(cells.unwrap(), dir).expect("tsv") {
+                    eprintln!("wrote {f}");
+                }
+            }
+        }
+        "throughput" => print!("{}", extras::throughput(cells.unwrap())),
+        "validate-mttf" => print!("{}", extras::validate(&cfg)),
+        "win2000" => print!("{}", extras::win2000(&cfg)),
+        "microbench" => print!("{}", extras::microbench(&cfg)),
+        "interactive" => print!("{}", extras::interactive(&cfg)),
+        "stability" => print!("{}", extras::stability(&cfg, 5)),
+        "sched" => print!("{}", extras::sched(cells.unwrap())),
+        "feasibility" => print!("{}", extras::feasibility(cells.unwrap())),
+        "ablations" => print!("{}", extras::ablations(minutes.min(5.0), seed)),
+        "all" => {
+            let cells = cells.unwrap();
+            let hr = "\n================================================================\n\n";
+            print!("{}", tables::table1());
+            print!("{hr}");
+            print!("{}", tables::table2());
+            print!("{hr}");
+            print!("{}", figures::figure4(cells));
+            print!("{hr}");
+            print!("{}", tables::table3(cells));
+            println!();
+            print!("{}", tables::table3_nt(cells));
+            print!("{hr}");
+            let f5 = figures::figure5(&cfg);
+            print!("{}", figures::render_figure5(&f5));
+            print!("{hr}");
+            print!("{}", tables::table4(&cfg));
+            print!("{hr}");
+            print!("{}", figures::figures_6_7(cells));
+            print!("{hr}");
+            print!("{}", extras::throughput(cells));
+            print!("{hr}");
+            print!("{}", extras::validate(&cfg));
+            print!("{hr}");
+            print!("{}", extras::sched(cells));
+            print!("{hr}");
+            print!("{}", extras::feasibility(cells));
+            print!("{hr}");
+            print!("{}", extras::win2000(&cfg));
+            print!("{hr}");
+            print!("{}", extras::microbench(&cfg));
+            print!("{hr}");
+            print!("{}", extras::interactive(&cfg));
+            print!("{hr}");
+            print!("{}", extras::ablations(minutes.min(5.0), seed));
+            if let Some(dir) = &out_dir {
+                for f in output::write_figure4(cells, dir).expect("tsv") {
+                    eprintln!("wrote {f}");
+                }
+                for f in output::write_figures_6_7(cells, dir).expect("tsv") {
+                    eprintln!("wrote {f}");
+                }
+                eprintln!("wrote {}", output::write_figure5(&f5, dir).expect("tsv"));
+            }
+        }
+        other => {
+            eprintln!(
+                "unknown artifact '{other}'; expected one of: table1 table2 table3 \
+                 table4 figure4 figure5 figure6 figure7 throughput validate-mttf \
+                 sched feasibility win2000 microbench interactive stability ablations all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

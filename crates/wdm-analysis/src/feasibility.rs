@@ -1,0 +1,148 @@
+//! Feasibility synthesis: Table 1 tolerances vs measured worst cases.
+//!
+//! The paper's bottom line is a feasibility judgment: "many
+//! compute-intensive drivers will be forced to use DPCs on Windows 98,
+//! whereas on Windows NT high-priority, real-time kernel mode threads
+//! should provide service indistinguishable from DPCs for all but the most
+//! demanding low latency drivers" (§6). This module mechanizes that call:
+//! for each Table 1 application class, compare its latency tolerance range
+//! against a measured worst-case dispatch latency and produce a verdict.
+
+use crate::tolerance::{table1, ToleranceRow};
+
+/// Verdict for one application class on one (OS, mechanism) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Even the tightest configuration (minimum tolerance) fits.
+    Comfortable,
+    /// Only generous buffering configurations fit.
+    NeedsMaxBuffering,
+    /// No configuration in the class's range fits.
+    Infeasible,
+}
+
+impl Verdict {
+    /// Short rendering for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Comfortable => "ok",
+            Verdict::NeedsMaxBuffering => "max-buffering",
+            Verdict::Infeasible => "INFEASIBLE",
+        }
+    }
+}
+
+/// Judges one application class against a worst-case dispatch latency.
+///
+/// An application with tolerance `T` survives when the service's worst-case
+/// latency stays below `T` minus its own per-buffer compute; following the
+/// paper's soft-modem analysis we conservatively reserve 25 % of the
+/// minimum buffer period for compute.
+pub fn judge(row: &ToleranceRow, worst_case_ms: f64) -> Verdict {
+    let (lo, hi) = row.tolerance_range_ms();
+    let reserve = |tolerance: f64| tolerance - 0.25 * row.buffer_ms.0;
+    if worst_case_ms <= reserve(lo) {
+        Verdict::Comfortable
+    } else if worst_case_ms <= reserve(hi) {
+        Verdict::NeedsMaxBuffering
+    } else {
+        Verdict::Infeasible
+    }
+}
+
+/// One measured service to judge against: a named worst case.
+#[derive(Debug, Clone)]
+pub struct MeasuredService {
+    /// "Windows 98 / DPC", "NT 4.0 / RT-28 thread", ...
+    pub name: String,
+    /// Its weekly worst-case dispatch latency (ms).
+    pub worst_case_ms: f64,
+}
+
+/// Renders the feasibility matrix: Table 1 classes down, services across.
+pub fn render_feasibility(services: &[MeasuredService]) -> String {
+    let mut out = String::from(
+        "Feasibility of Table 1 application classes by OS service\n\
+         (weekly worst-case dispatch latency vs latency tolerance)\n\n",
+    );
+    out += &format!("{:<12}{:>14}", "class", "tolerance ms");
+    for s in services {
+        out += &format!("{:>26}", s.name);
+    }
+    out.push('\n');
+    for row in table1() {
+        let (lo, hi) = row.tolerance_range_ms();
+        out += &format!("{:<12}{:>7.0}-{:<6.0}", row.name, lo, hi);
+        for s in services {
+            out += &format!("{:>26}", judge(&row, s.worst_case_ms).label());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adsl() -> ToleranceRow {
+        table1().into_iter().find(|r| r.name == "ADSL").unwrap()
+    }
+
+    fn rt_audio() -> ToleranceRow {
+        table1().into_iter().find(|r| r.name == "RT audio").unwrap()
+    }
+
+    #[test]
+    fn tight_latency_is_comfortable_everywhere() {
+        for row in table1() {
+            assert_eq!(judge(&row, 0.5), Verdict::Comfortable, "{}", row.name);
+        }
+    }
+
+    #[test]
+    fn adsl_is_the_first_to_become_infeasible() {
+        // ADSL tolerates 4-10 ms; a 12 ms worst case kills it while RT
+        // audio (20-60 ms) still works.
+        assert_eq!(judge(&adsl(), 12.0), Verdict::Infeasible);
+        assert_ne!(judge(&rt_audio(), 12.0), Verdict::Infeasible);
+    }
+
+    #[test]
+    fn intermediate_latency_needs_max_buffering() {
+        // 6 ms worst case vs ADSL's 4-10 ms range: only the deep-buffer
+        // configurations survive.
+        assert_eq!(judge(&adsl(), 6.0), Verdict::NeedsMaxBuffering);
+    }
+
+    #[test]
+    fn matrix_renders_with_verdicts() {
+        let services = vec![
+            MeasuredService {
+                name: "NT4/RT-28".into(),
+                worst_case_ms: 2.8,
+            },
+            MeasuredService {
+                name: "Win98/thread".into(),
+                worst_case_ms: 84.0,
+            },
+        ];
+        let m = render_feasibility(&services);
+        assert!(m.contains("ADSL"));
+        assert!(m.contains("INFEASIBLE"));
+        assert!(m.contains("ok"));
+    }
+
+    #[test]
+    fn paper_conclusion_reproduces_from_measured_numbers() {
+        // The paper's Table 3 weekly worst cases: Win98 threads at 84 ms
+        // make every Table 1 class infeasible; Win98 DPCs at 14 ms keep
+        // video workable; NT threads at ~3 ms keep everything workable
+        // except the tightest ADSL configurations.
+        for row in table1() {
+            assert_eq!(judge(&row, 84.0), Verdict::Infeasible, "{}", row.name);
+        }
+        let video = table1().into_iter().find(|r| r.name == "RT video").unwrap();
+        assert_ne!(judge(&video, 14.0), Verdict::Infeasible);
+    }
+}

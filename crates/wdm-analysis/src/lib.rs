@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # wdm-analysis — QoS forecasting from measured latency distributions
+//!
+//! The paper's analysis layer (§5):
+//!
+//! - [`tolerance`] — latency tolerance `(n-1)*t` of buffered pipelines
+//!   (Table 1);
+//! - [`mttf`] — mean time to buffer underrun for a soft-modem datapump as a
+//!   function of buffering, derived from a latency distribution
+//!   (Figures 6–7);
+//! - [`sched`] — schedulability analysis on a non-real-time OS: pseudo
+//!   worst cases chosen by permissible error rate, fed into fixed-priority
+//!   response-time analysis (§5.2, ref \[4\]).
+
+pub mod feasibility;
+pub mod mttf;
+pub mod sched;
+pub mod tolerance;
+
+pub use feasibility::{judge, render_feasibility, MeasuredService, Verdict};
+pub use mttf::{mttf_curve, mttf_seconds, MttfParams};
+pub use sched::{
+    is_schedulable, pseudo_worst_case_ms, response_time_analysis, rma_utilization_bound,
+    PeriodicTask,
+};
+pub use tolerance::{latency_tolerance_ms, table1, ToleranceRow};

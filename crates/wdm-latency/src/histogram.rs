@@ -1,0 +1,320 @@
+//! Log-binned latency distributions.
+//!
+//! The paper presents latency data as log-log plots (Figure 4): logarithmic
+//! bins on the time axis (0.125, 0.25, 0.5, … 128 ms) against percent of
+//! samples on a log scale down to 0.0001 %. "Windows 98 OS latency
+//! distributions are highly non-symmetric, with a very long tail on one
+//! side" (§4.2) — the binning is designed to show that tail.
+
+use wdm_sim::time::Cycles;
+
+/// The Figure 4 time axis: bin upper edges in milliseconds.
+///
+/// Bin `i` covers `(EDGES[i-1], EDGES[i]]`; an underflow bin covers
+/// everything at or below `EDGES[0]`'s lower neighbor, and an overflow bin
+/// anything above the last edge.
+pub const FIG4_EDGES_MS: [f64; 11] = [
+    0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+];
+
+/// A latency histogram with logarithmic bins.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// Bin upper edges, in ms, strictly increasing.
+    edges_ms: Vec<f64>,
+    /// `counts[0]` = samples <= edges[0]; `counts[i]` = samples in
+    /// `(edges[i-1], edges[i]]`; last = overflow.
+    counts: Vec<u64>,
+    count: u64,
+    sum_ms: f64,
+    max_ms: f64,
+    min_ms: f64,
+}
+
+impl LatencyHistogram {
+    /// Creates a histogram over the Figure 4 axis.
+    pub fn fig4() -> LatencyHistogram {
+        LatencyHistogram::with_edges(&FIG4_EDGES_MS)
+    }
+
+    /// Creates a histogram with custom bin edges (ms, strictly increasing).
+    pub fn with_edges(edges_ms: &[f64]) -> LatencyHistogram {
+        assert!(!edges_ms.is_empty(), "need at least one bin edge");
+        assert!(
+            edges_ms.windows(2).all(|w| w[0] < w[1]),
+            "bin edges must be strictly increasing"
+        );
+        LatencyHistogram {
+            edges_ms: edges_ms.to_vec(),
+            counts: vec![0; edges_ms.len() + 1],
+            count: 0,
+            sum_ms: 0.0,
+            max_ms: 0.0,
+            min_ms: f64::INFINITY,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record_ms(&mut self, ms: f64) {
+        debug_assert!(ms >= 0.0 && ms.is_finite(), "latency must be finite");
+        let idx = match self.edges_ms.iter().position(|&e| ms <= e) {
+            Some(i) => i,
+            None => self.edges_ms.len(), // Overflow bin.
+        };
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum_ms += ms;
+        if ms > self.max_ms {
+            self.max_ms = ms;
+        }
+        if ms < self.min_ms {
+            self.min_ms = ms;
+        }
+    }
+
+    /// Records a sample given in cycles at the given clock rate.
+    pub fn record_cycles(&mut self, c: Cycles, cpu_hz: u64) {
+        self.record_ms(c.as_ms_at(cpu_hz));
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample (ms), 0 if empty.
+    pub fn max_ms(&self) -> f64 {
+        self.max_ms
+    }
+
+    /// Smallest sample (ms), +inf if empty.
+    pub fn min_ms(&self) -> f64 {
+        self.min_ms
+    }
+
+    /// Mean (ms), 0 if empty.
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ms / self.count as f64
+        }
+    }
+
+    /// Bin edges (ms).
+    pub fn edges_ms(&self) -> &[f64] {
+        &self.edges_ms
+    }
+
+    /// Raw bin counts (underflow, bins…, overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Percent of samples in each bin (same layout as [`Self::counts`]).
+    pub fn percents(&self) -> Vec<f64> {
+        let n = self.count.max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 * 100.0 / n).collect()
+    }
+
+    /// Fraction of samples strictly above `ms` (the survival function),
+    /// computed exactly at bin edges and by log-linear interpolation inside
+    /// bins.
+    pub fn survival(&self, ms: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if ms >= self.max_ms {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        // Cumulative counts above each edge.
+        let mut above = self.count;
+        let mut prev_edge = 0.0f64;
+        for (i, &edge) in self.edges_ms.iter().enumerate() {
+            let in_bin = self.counts[i];
+            if ms <= prev_edge {
+                return above as f64 / n;
+            }
+            if ms <= edge {
+                // Interpolate within (prev_edge, min(edge, max)] assuming
+                // log-uniform spread of the bin's mass. Clamping the bin's
+                // upper limit to the observed maximum matters when most of
+                // the mass sits in the top bin.
+                let lo = prev_edge.max(self.min_ms.min(edge)).max(1e-9);
+                let hi = edge.min(self.max_ms).max(lo * 1.0000001);
+                let f = ((ms.max(lo)).min(hi).ln() - lo.ln()) / (hi.ln() - lo.ln());
+                let remaining_in_bin = in_bin as f64 * (1.0 - f.clamp(0.0, 1.0));
+                return (above as f64 - in_bin as f64 + remaining_in_bin) / n;
+            }
+            above -= in_bin;
+            prev_edge = edge;
+        }
+        // In the overflow bin: between the last edge and max.
+        let lo = *self.edges_ms.last().expect("non-empty edges");
+        let hi = self.max_ms.max(lo * 1.0000001);
+        let f = ((ms.max(lo)).ln() - lo.ln()) / (hi.ln() - lo.ln());
+        above as f64 * (1.0 - f.clamp(0.0, 1.0)) / n
+    }
+
+    /// The latency exceeded with probability `p` (a high quantile), by
+    /// inverse of [`Self::survival`] on the binned data. For `p` below
+    /// `1/count` the observed maximum is returned (no extrapolation).
+    pub fn quantile_exceeding(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        if self.count == 0 {
+            return 0.0;
+        }
+        if p <= 1.0 / self.count as f64 {
+            return self.max_ms;
+        }
+        let n = self.count as f64;
+        let target = p * n; // Samples that may exceed the answer.
+        let mut above = self.count as f64;
+        let mut prev_edge = 0.0f64;
+        for (i, &edge) in self.edges_ms.iter().enumerate() {
+            let in_bin = self.counts[i] as f64;
+            let above_after = above - in_bin;
+            if above_after <= target {
+                // The quantile is inside this bin; log-interpolate, with the
+                // bin's upper limit clamped to the observed maximum.
+                let lo = prev_edge.max(1e-9);
+                let hi = edge.min(self.max_ms).max(lo * 1.0000001);
+                if in_bin <= 0.0 {
+                    return hi;
+                }
+                let f = (above - target) / in_bin;
+                return (lo.ln() + f.clamp(0.0, 1.0) * (hi.ln() - lo.ln()))
+                    .exp()
+                    .min(self.max_ms);
+            }
+            above = above_after;
+            prev_edge = edge;
+        }
+        self.max_ms
+    }
+
+    /// Merges another histogram with identical edges into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(self.edges_ms, other.edges_ms, "bin edges must match");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ms += other.sum_ms;
+        self.max_ms = self.max_ms.max(other.max_ms);
+        self.min_ms = self.min_ms.min(other.min_ms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_matches_edges() {
+        let mut h = LatencyHistogram::fig4();
+        h.record_ms(0.1); // underflow bin 0 (<= 0.125)
+        h.record_ms(0.125); // still bin 0 (inclusive upper edge)
+        h.record_ms(0.2); // bin 1
+        h.record_ms(100.0); // bin 10
+        h.record_ms(500.0); // overflow
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[10], 1);
+        assert_eq!(h.counts()[11], 1);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max_ms(), 500.0);
+        assert_eq!(h.min_ms(), 0.1);
+    }
+
+    #[test]
+    fn percents_sum_to_100() {
+        let mut h = LatencyHistogram::fig4();
+        for i in 0..1000 {
+            h.record_ms(0.05 + (i as f64) * 0.01);
+        }
+        let total: f64 = h.percents().iter().sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn survival_is_monotone_decreasing() {
+        let mut h = LatencyHistogram::fig4();
+        for i in 1..=10_000 {
+            h.record_ms(i as f64 * 0.01); // 0.01 .. 100 ms uniform
+        }
+        let mut prev = 1.0;
+        for ms in [0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 99.0] {
+            let s = h.survival(ms);
+            assert!(s <= prev + 1e-12, "survival must decrease: {ms} -> {s}");
+            assert!((0.0..=1.0).contains(&s));
+            prev = s;
+        }
+        assert_eq!(h.survival(100.0), 0.0);
+    }
+
+    #[test]
+    fn survival_roughly_matches_uniform_data() {
+        let mut h = LatencyHistogram::fig4();
+        for i in 1..=100_000 {
+            h.record_ms(i as f64 * 0.001); // uniform 0.001..100
+        }
+        // P(X > 50) should be ~0.5.
+        let s = h.survival(50.0);
+        assert!((s - 0.5).abs() < 0.1, "survival(50) = {s}");
+    }
+
+    #[test]
+    fn quantile_inverts_survival() {
+        let mut h = LatencyHistogram::fig4();
+        for i in 1..=100_000u64 {
+            h.record_ms(i as f64 * 0.001); // uniform 0.001..100 ms
+        }
+        for p in [0.2, 0.05, 0.01] {
+            let q = h.quantile_exceeding(p);
+            let s = h.survival(q);
+            assert!(
+                (s - p).abs() / p < 0.5,
+                "survival(quantile({p}) = {q}) = {s}, expected ~{p}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_saturates_at_observed_max() {
+        let mut h = LatencyHistogram::fig4();
+        for _ in 0..100 {
+            h.record_ms(1.0);
+        }
+        h.record_ms(30.0);
+        assert_eq!(h.quantile_exceeding(1e-9), 30.0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::fig4();
+        let mut b = LatencyHistogram::fig4();
+        a.record_ms(0.3);
+        b.record_ms(3.0);
+        b.record_ms(300.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max_ms(), 300.0);
+        // 0.3 ms falls in (0.25, 0.5], bin index 2.
+        assert_eq!(a.counts()[2], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_edges() {
+        let _ = LatencyHistogram::with_edges(&[1.0, 0.5]);
+    }
+
+    #[test]
+    fn record_cycles_converts() {
+        let mut h = LatencyHistogram::fig4();
+        h.record_cycles(Cycles(300_000), 300_000_000); // 1 ms
+        assert_eq!(h.counts()[3], 1); // (0.5, 1.0] bin
+    }
+}

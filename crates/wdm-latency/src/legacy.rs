@@ -1,0 +1,200 @@
+//! The Windows 9x-only interrupt latency driver (paper §2.2).
+//!
+//! "On Windows 98 it is possible, using legacy interfaces, to supply our
+//! own timer ISR, whereas on Windows NT this would require source code
+//! access. Our NT driver thus records only DPC interrupt latency whereas
+//! our Windows 98 driver records interrupt latency, DPC latency, and DPC
+//! interrupt latency."
+//!
+//! This module packages that non-portable driver: it installs a hook on the
+//! PIT timer ISR through the Win9x VxD timer services and therefore
+//! **refuses to load on NT kernels**, returning [`PortabilityError`]. The
+//! measurement chain is the same timer -> DPC path as the portable tool,
+//! but with the hardware-interrupt timestamp observed directly by the hook
+//! rather than estimated from `ASB[0] + delay`.
+
+use std::{cell::RefCell, rc::Rc};
+
+use wdm_osmodel::personality::OsKind;
+use wdm_sim::{
+    dpc::DpcImportance,
+    ids::{DpcId, TimerId, VectorId},
+    kernel::Kernel,
+    observer::{DpcStart, IsrEnter, Observer},
+    step::{OpSeq, Program, Step, StepCtx},
+    time::{Cycles, Instant},
+};
+
+use crate::worstcase::LatencySeries;
+
+/// Why the legacy driver cannot load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortabilityError {
+    /// Installing a private timer ISR requires the Win9x VxD timer
+    /// services; on NT kernels patching the IDT needs OS source access.
+    RequiresLegacyTimerHook,
+}
+
+impl core::fmt::Display for PortabilityError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "legacy timer hook unavailable: Windows 9x VxD interfaces required"
+        )
+    }
+}
+
+/// The measurement record set of the legacy driver.
+pub struct LegacyRecords {
+    pit_vector: VectorId,
+    dpc: DpcId,
+    cpu_hz: u64,
+    last_pit: Option<(Instant, Instant)>,
+    /// Hardware interrupt to timer ISR (true interrupt latency — the
+    /// measurement NT cannot make without source access).
+    pub int_latency: LatencySeries,
+    /// DPC queue to DPC start.
+    pub dpc_latency: LatencySeries,
+    /// Hardware interrupt to DPC start.
+    pub dpc_int_latency: LatencySeries,
+}
+
+impl Observer for LegacyRecords {
+    fn on_isr_enter(&mut self, e: &IsrEnter) {
+        if e.vector != self.pit_vector {
+            return;
+        }
+        self.last_pit = Some((e.asserted, e.started));
+        let v = (e.started - e.asserted).as_ms_at(self.cpu_hz);
+        self.int_latency.record(e.started, v);
+    }
+
+    fn on_dpc_start(&mut self, e: &DpcStart) {
+        if e.dpc != self.dpc {
+            return;
+        }
+        let v = (e.started - e.queued).as_ms_at(self.cpu_hz);
+        self.dpc_latency.record(e.started, v);
+        if let Some((asserted, _)) = self.last_pit {
+            if asserted <= e.queued {
+                let v = (e.started - asserted).as_ms_at(self.cpu_hz);
+                self.dpc_int_latency.record(e.started, v);
+            }
+        }
+    }
+}
+
+/// The installed legacy driver.
+pub struct LegacyWin9xTool {
+    /// The measurement records; read after running.
+    pub records: Rc<RefCell<LegacyRecords>>,
+    /// The driver's timer.
+    pub timer: TimerId,
+    /// The driver's DPC.
+    pub dpc: DpcId,
+}
+
+/// The re-arming control program: a minimal loop that keeps the one-shot
+/// timer armed every period (the legacy driver's VxD timeout callback).
+struct Rearm {
+    timer: TimerId,
+    period: Cycles,
+    phase: u8,
+}
+
+impl Program for Rearm {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>) -> Step {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                Step::SetTimer {
+                    timer: self.timer,
+                    due: self.period,
+                    period: Some(self.period),
+                }
+            }
+            _ => Step::Exit,
+        }
+    }
+}
+
+impl LegacyWin9xTool {
+    /// Installs the driver. Fails on NT kernels (§2.2's portability note).
+    pub fn install(
+        k: &mut Kernel,
+        os: OsKind,
+        period_ms: f64,
+    ) -> Result<LegacyWin9xTool, PortabilityError> {
+        match os {
+            OsKind::Win98 => {}
+            OsKind::Nt4 | OsKind::Win2000 => {
+                return Err(PortabilityError::RequiresLegacyTimerHook)
+            }
+        }
+        let cpu_hz = k.config().cpu_hz;
+        let slot = k.alloc_slots(1);
+        let dpc = k.create_dpc(
+            "legacy-lat-dpc",
+            DpcImportance::Medium,
+            Box::new(OpSeq::new(vec![Step::ReadTsc(slot), Step::Return])),
+        );
+        let timer = k.create_timer(Some(dpc));
+        let _arm = k.create_thread(
+            "legacy-arm",
+            16,
+            Box::new(Rearm {
+                timer,
+                period: Cycles::from_ms_at(period_ms, cpu_hz),
+                phase: 0,
+            }),
+        );
+        let records = Rc::new(RefCell::new(LegacyRecords {
+            pit_vector: k.pit_vector(),
+            dpc,
+            cpu_hz,
+            last_pit: None,
+            int_latency: LatencySeries::new("legacy: interrupt latency", cpu_hz),
+            dpc_latency: LatencySeries::new("legacy: DPC latency", cpu_hz),
+            dpc_int_latency: LatencySeries::new("legacy: DPC interrupt latency", cpu_hz),
+        }));
+        k.add_observer(records.clone());
+        Ok(LegacyWin9xTool {
+            records,
+            timer,
+            dpc,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdm_osmodel::personality::OsPersonality;
+
+    #[test]
+    fn refuses_to_load_on_nt_kernels() {
+        for os in [OsKind::Nt4, OsKind::Win2000] {
+            let mut k = OsPersonality::of(os).build_kernel(1);
+            let r = LegacyWin9xTool::install(&mut k, os, 1.0);
+            assert!(matches!(
+                r,
+                Err(PortabilityError::RequiresLegacyTimerHook)
+            ));
+        }
+    }
+
+    #[test]
+    fn measures_all_three_latencies_on_win98() {
+        let mut k = OsPersonality::win98().build_kernel(2);
+        let tool = LegacyWin9xTool::install(&mut k, OsKind::Win98, 1.0).expect("loads on 98");
+        k.run_for(Cycles::from_ms(500.0));
+        let r = tool.records.borrow();
+        assert!(r.int_latency.hist.count() > 400, "per-tick samples");
+        assert!(r.dpc_latency.hist.count() > 300, "per-expiry samples");
+        assert!(r.dpc_int_latency.hist.count() > 300);
+        // Chain consistency: int <= int+DPC on means.
+        assert!(r.int_latency.hist.mean_ms() <= r.dpc_int_latency.hist.mean_ms());
+        let err = PortabilityError::RequiresLegacyTimerHook.to_string();
+        assert!(err.contains("VxD"));
+    }
+}

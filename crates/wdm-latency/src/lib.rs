@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # wdm-latency — the paper's latency measurement methodology
+//!
+//! The primary contribution of *"A Comparison of Windows Driver Model
+//! Latency Performance on Windows NT and Windows 98"*: microbenchmarks that
+//! measure the **distribution of individual OS service times under load**,
+//! rather than averages on an idle system.
+//!
+//! - [`tool`] — the WDM measurement drivers of §2.2 (Figure 3): a PIT-driven
+//!   timer whose DPC signals real-time threads at priority 28 and 24, with
+//!   timestamps returned through IRPs; plus a ground-truth collector using
+//!   simulator instrumentation.
+//! - [`histogram`] / [`worstcase`] — log-binned distributions (the Figure 4
+//!   axes) and expected hourly/daily/weekly worst cases (Table 3).
+//! - [`cause`] — the latency *cause* tool of §2.3: an IDT hook sampling the
+//!   interrupted context every tick, dumping a circular buffer on long
+//!   latencies, and symbolizing the samples into episode traces (Table 4).
+//! - [`report`] — text renderers for the figures and tables.
+//! - [`session`] — one-call measurement of a composed scenario: the
+//!   harness used by the benches and examples.
+
+pub mod cause;
+pub mod histogram;
+pub mod interactive;
+pub mod legacy;
+pub mod microbench;
+pub mod profiler;
+pub mod report;
+pub mod session;
+pub mod tool;
+pub mod worstcase;
+
+pub use cause::{CauseTool, Episode};
+pub use interactive::InteractiveProbe;
+pub use legacy::{LegacyWin9xTool, PortabilityError};
+pub use microbench::{render_comparison, run_microbench, Microbench};
+pub use profiler::Profiler;
+pub use histogram::LatencyHistogram;
+pub use session::{measure_scenario, ScenarioMeasurement};
+pub use tool::{LatencyTool, MeasurementSession, ToolResults, TruthCollector};
+pub use worstcase::{worst_cases, LatencySeries, WorstCases};

@@ -1,0 +1,221 @@
+//! One-call measurement of a composed scenario.
+//!
+//! Mirrors the paper's lab procedure (§3.1): launch the stress load, start
+//! the latency measurement tools, collect for a period of (simulated) time,
+//! and return every latency series needed for Figure 4, Table 3, Figure 5
+//! and Table 4.
+
+use std::{cell::RefCell, rc::Rc};
+
+use wdm_osmodel::personality::OsKind;
+use wdm_sim::{kernel::CycleAccount, time::Cycles};
+use wdm_workloads::{build_scenario, ScenarioOptions, UsageModel, WorkloadKind};
+
+use crate::{
+    cause::CauseTool,
+    tool::MeasurementSession,
+    worstcase::LatencySeries, //
+};
+
+/// Everything measured from one OS x workload cell.
+pub struct ScenarioMeasurement {
+    /// Which OS ran.
+    pub os: OsKind,
+    /// Which stress load ran.
+    pub workload: WorkloadKind,
+    /// Simulated collection time in hours.
+    pub collected_hours: f64,
+    /// The workload's usage model (for Table 3 scaling).
+    pub usage: UsageModel,
+    /// Hardware interrupt to first PIT ISR instruction (interrupt latency),
+    /// one sample per measurement round — the paper's tool cadence, and the
+    /// basis of Table 3's first row.
+    pub int_to_isr: LatencySeries,
+    /// The same interrupt latency sampled on *every* PIT tick (~1 kHz), the
+    /// simulator-truth superset.
+    pub int_to_isr_all_ticks: LatencySeries,
+    /// PIT ISR start to measurement DPC start.
+    pub isr_to_dpc: LatencySeries,
+    /// Hardware interrupt to measurement DPC start (DPC interrupt latency).
+    pub int_to_dpc: LatencySeries,
+    /// DPC queue to DPC start (pure DPC latency).
+    pub dpc_lat: LatencySeries,
+    /// KeSetEvent to first thread instruction, priority 28.
+    pub thread_lat_28: LatencySeries,
+    /// Hardware interrupt to first thread instruction, priority 28.
+    pub thread_int_28: LatencySeries,
+    /// KeSetEvent to first thread instruction, priority 24.
+    pub thread_lat_24: LatencySeries,
+    /// Hardware interrupt to first thread instruction, priority 24.
+    pub thread_int_24: LatencySeries,
+    /// The driver-computed (ASB-based) thread latency for priority 28 —
+    /// what the paper's own tool reports.
+    pub tool_dpc_to_thread_28: LatencySeries,
+    /// The driver-estimated interrupt+DPC latency (±1 tick resolution).
+    pub tool_est_int_to_dpc: LatencySeries,
+    /// Application operations completed (the throughput score of §4.2).
+    pub ops_completed: u64,
+    /// Cycle accounting by hierarchy level.
+    pub account: CycleAccount,
+    /// Rendered cause-tool episodes (present when a threshold was set).
+    pub episodes: Vec<String>,
+    /// Number of waits the priority-24 measurement thread completed (used
+    /// for Figure 5's "per wait" frequencies).
+    pub waits_24: u64,
+    /// Number of waits the priority-28 measurement thread completed.
+    pub waits_28: u64,
+}
+
+/// Extra knobs for a measurement run.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureOptions {
+    /// Scenario composition (virus scanner, sound scheme).
+    pub scenario: ScenarioOptions,
+    /// Measurement period in ms (the tool's `ARBITRARY_DELAY`).
+    pub period_ms: f64,
+    /// Capture cause-tool episodes for priority-24 thread latencies above
+    /// this threshold (ms).
+    pub cause_threshold_ms: Option<f64>,
+}
+
+impl Default for MeasureOptions {
+    fn default() -> MeasureOptions {
+        MeasureOptions {
+            scenario: ScenarioOptions::default(),
+            period_ms: 1.0,
+            cause_threshold_ms: None,
+        }
+    }
+}
+
+/// Runs the full measurement procedure for one OS x workload cell.
+pub fn measure_scenario(
+    os: OsKind,
+    workload: WorkloadKind,
+    seed: u64,
+    sim_hours: f64,
+    opts: &MeasureOptions,
+) -> ScenarioMeasurement {
+    assert!(sim_hours > 0.0, "must simulate a positive duration");
+    let mut scenario = build_scenario(os, workload, seed, &opts.scenario);
+    let session = MeasurementSession::install(&mut scenario.kernel, opts.period_ms);
+    let cause = opts.cause_threshold_ms.map(|thr| {
+        let t = Rc::new(RefCell::new(CauseTool::new(
+            &scenario.kernel,
+            session.rt24.thread,
+            thr,
+            1024,
+        )));
+        scenario.kernel.add_observer(t.clone());
+        t
+    });
+
+    scenario
+        .kernel
+        .run_for(Cycles::from_ms_at(
+            sim_hours * 3_600_000.0,
+            scenario.kernel.config().cpu_hz,
+        ));
+
+    let truth = session.truth.borrow();
+    let episodes = cause
+        .map(|c| {
+            c.borrow()
+                .episodes
+                .iter()
+                .map(|e| e.render(scenario.kernel.symbols()))
+                .collect()
+        })
+        .unwrap_or_default();
+    let r28 = session.rt28.results.borrow();
+    ScenarioMeasurement {
+        os,
+        workload,
+        collected_hours: sim_hours,
+        usage: scenario.usage,
+        int_to_isr: truth.round_int[&session.rt28.dpc].clone(),
+        int_to_isr_all_ticks: truth.pit_int.clone(),
+        isr_to_dpc: truth.isr_to_dpc[&session.rt28.dpc].clone(),
+        int_to_dpc: truth.dpc_int[&session.rt28.dpc].clone(),
+        dpc_lat: truth.dpc_lat[&session.rt28.dpc].clone(),
+        thread_lat_28: truth.thread_lat[&session.rt28.thread].clone(),
+        thread_int_28: truth.thread_int[&session.rt28.thread].clone(),
+        thread_lat_24: truth.thread_lat[&session.rt24.thread].clone(),
+        thread_int_24: truth.thread_int[&session.rt24.thread].clone(),
+        tool_dpc_to_thread_28: r28.dpc_to_thread.clone(),
+        tool_est_int_to_dpc: r28.est_int_to_dpc.clone(),
+        ops_completed: scenario.total_ops(),
+        account: scenario.kernel.account,
+        episodes,
+        waits_24: scenario.kernel.thread(session.rt24.thread).waits_satisfied,
+        waits_28: scenario.kernel.thread(session.rt28.thread).waits_satisfied,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_short_cell() {
+        let m = measure_scenario(
+            OsKind::Nt4,
+            WorkloadKind::Business,
+            11,
+            3.0 / 3600.0, // 3 simulated seconds
+            &MeasureOptions::default(),
+        );
+        assert!(
+            m.int_to_isr_all_ticks.hist.count() > 2000,
+            "PIT at 1 kHz for 3 s"
+        );
+        assert!(m.int_to_isr.hist.count() > 200, "per-round series");
+        assert!(m.thread_lat_28.hist.count() > 500);
+        assert!(m.ops_completed > 0);
+        assert!(m.episodes.is_empty());
+    }
+
+    #[test]
+    fn cause_tool_captures_on_win98() {
+        let m = measure_scenario(
+            OsKind::Win98,
+            WorkloadKind::Games,
+            11,
+            5.0 / 3600.0,
+            &MeasureOptions {
+                cause_threshold_ms: Some(2.0),
+                ..MeasureOptions::default()
+            },
+        );
+        assert!(
+            !m.episodes.is_empty(),
+            "games on 98 should produce >2 ms episodes"
+        );
+        assert!(m.episodes[0].contains("samples in"));
+    }
+
+    #[test]
+    fn nt_beats_win98_on_thread_latency_tail() {
+        let hours = 5.0 / 3600.0;
+        let nt = measure_scenario(
+            OsKind::Nt4,
+            WorkloadKind::Business,
+            5,
+            hours,
+            &MeasureOptions::default(),
+        );
+        let w98 = measure_scenario(
+            OsKind::Win98,
+            WorkloadKind::Business,
+            5,
+            hours,
+            &MeasureOptions::default(),
+        );
+        let nt_p999 = nt.thread_lat_28.hist.quantile_exceeding(0.001);
+        let w98_p999 = w98.thread_lat_28.hist.quantile_exceeding(0.001);
+        assert!(
+            w98_p999 > nt_p999 * 2.0,
+            "Win98 thread tail ({w98_p999} ms) must dominate NT ({nt_p999} ms)"
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! Worst-case extraction: expected hourly/daily/weekly maxima (Table 3).
+//!
+//! The paper characterizes Windows 98 "in terms of three expected worst
+//! case values: hourly, daily and weekly" (§4.3), where a day and week are
+//! defined by the heavy-user usage models of §3.1, and collection time is
+//! compressed relative to usage time.
+//!
+//! Two estimators are combined:
+//!
+//! - **Block maxima**: when enough collection time exists, the expected
+//!   max over a window is the mean of per-window maxima.
+//! - **Tail quantiles**: when the simulated run is shorter than the target
+//!   window, the expected max over `n` samples is approximated by the
+//!   `1 - 1/n` quantile of the empirical distribution, with a log-log
+//!   tail extrapolation beyond the observed support (capped at 3x the
+//!   observed maximum so a sparse tail cannot explode the estimate).
+
+use wdm_sim::time::{Cycles, Instant};
+
+use crate::histogram::LatencyHistogram;
+
+/// Running per-block maxima of a timestamped latency series.
+#[derive(Debug, Clone)]
+pub struct BlockMaxima {
+    block_len: Cycles,
+    cur_block_end: Instant,
+    cur_max: f64,
+    cur_nonempty: bool,
+    maxima: Vec<f64>,
+}
+
+impl BlockMaxima {
+    /// Creates a tracker with the given block length.
+    pub fn new(block_len: Cycles) -> BlockMaxima {
+        assert!(!block_len.is_zero(), "block length must be non-zero");
+        BlockMaxima {
+            block_len,
+            cur_block_end: Instant::ZERO + block_len,
+            cur_max: 0.0,
+            cur_nonempty: false,
+            maxima: Vec::new(),
+        }
+    }
+
+    /// Records a sample observed at `now`.
+    pub fn record(&mut self, now: Instant, ms: f64) {
+        while now >= self.cur_block_end {
+            self.maxima.push(if self.cur_nonempty { self.cur_max } else { 0.0 });
+            self.cur_max = 0.0;
+            self.cur_nonempty = false;
+            self.cur_block_end = self.cur_block_end + self.block_len;
+        }
+        if ms > self.cur_max {
+            self.cur_max = ms;
+        }
+        self.cur_nonempty = true;
+    }
+
+    /// Completed block maxima (the in-progress block is excluded).
+    pub fn maxima(&self) -> &[f64] {
+        &self.maxima
+    }
+
+    /// Expected maximum over windows of `k` consecutive blocks: the mean of
+    /// per-window maxima. Returns `None` if no complete window exists.
+    pub fn expected_max_over(&self, k: usize) -> Option<f64> {
+        assert!(k > 0, "window must span at least one block");
+        if self.maxima.len() < k {
+            return None;
+        }
+        let windows: Vec<f64> = self
+            .maxima
+            .chunks_exact(k)
+            .map(|w| w.iter().cloned().fold(0.0, f64::max))
+            .collect();
+        Some(windows.iter().sum::<f64>() / windows.len() as f64)
+    }
+}
+
+/// A timestamped latency series: distribution plus block maxima.
+#[derive(Debug, Clone)]
+pub struct LatencySeries {
+    /// The log-binned distribution.
+    pub hist: LatencyHistogram,
+    /// Per-minute maxima (in collection time).
+    pub blocks: BlockMaxima,
+    /// What the series measures, for reports.
+    pub name: String,
+}
+
+/// One simulated minute, the block-maxima granularity.
+const BLOCK_MINUTES: f64 = 1.0;
+
+impl LatencySeries {
+    /// Creates a series on the Figure 4 axis, with one-minute blocks at the
+    /// given CPU clock.
+    pub fn new(name: &str, cpu_hz: u64) -> LatencySeries {
+        LatencySeries {
+            hist: LatencyHistogram::fig4(),
+            blocks: BlockMaxima::new(Cycles::from_ms_at(BLOCK_MINUTES * 60_000.0, cpu_hz)),
+            name: name.to_string(),
+        }
+    }
+
+    /// Records one latency sample observed at `now`.
+    pub fn record(&mut self, now: Instant, ms: f64) {
+        self.hist.record_ms(ms);
+        self.blocks.record(now, ms);
+    }
+
+    /// Expected maximum latency over `window_hours` of collection time,
+    /// given that `collected_hours` were actually simulated.
+    ///
+    /// Uses block maxima when the window fits in the collected data,
+    /// otherwise scales the sample count and extrapolates the tail.
+    pub fn expected_max_ms(&self, window_hours: f64, collected_hours: f64) -> f64 {
+        let blocks_per_window = (window_hours * 60.0 / BLOCK_MINUTES).round().max(1.0) as usize;
+        if let Some(m) = self.blocks.expected_max_over(blocks_per_window) {
+            return m;
+        }
+        // Not enough collection time: estimate the count of samples a full
+        // window would contain and take the corresponding tail quantile.
+        if self.hist.count() == 0 || collected_hours <= 0.0 {
+            return 0.0;
+        }
+        let rate_per_hour = self.hist.count() as f64 / collected_hours;
+        let n_window = (rate_per_hour * window_hours).max(1.0);
+        let p = 1.0 / n_window;
+        self.extrapolated_quantile(p)
+    }
+
+    /// Tail quantile with log-log extrapolation beyond the observed support.
+    pub fn extrapolated_quantile(&self, p: f64) -> f64 {
+        let count = self.hist.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let p_min = 1.0 / count as f64;
+        if p >= p_min {
+            return self.hist.quantile_exceeding(p);
+        }
+        // Fit a line through (ln q, ln p) at p1 = 32/n and p2 = 2/n and
+        // extend it to the requested p; saturate at 3x the observed max.
+        let p1 = (32.0 * p_min).min(0.5);
+        let p2 = (2.0 * p_min).min(0.9);
+        let q1 = self.hist.quantile_exceeding(p1).max(1e-6);
+        let q2 = self.hist.quantile_exceeding(p2).max(q1 * 1.000001);
+        let slope = (q2.ln() - q1.ln()) / (p2.ln() - p1.ln());
+        let q = (q2.ln() + slope * (p.ln() - p2.ln())).exp();
+        q.min(self.hist.max_ms() * 3.0).max(self.hist.max_ms())
+    }
+}
+
+/// The three Table 3 horizons for one series, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorstCases {
+    /// Expected max in one hour of continuous usage.
+    pub hourly: f64,
+    /// Expected max over a heavy-user day.
+    pub daily: f64,
+    /// Expected max over a heavy-user week.
+    pub weekly: f64,
+}
+
+/// Computes Table 3 horizons for a series.
+///
+/// `collected_hours` is simulated collection time. The window arguments are
+/// the usage model's equivalent **collection** times for one usage hour,
+/// day and week: stress loads are time-compressed (§3.1), so one usage hour
+/// is `1/compression` collection hours.
+pub fn worst_cases(
+    series: &LatencySeries,
+    collected_hours: f64,
+    hour_window: f64,
+    day_window: f64,
+    week_window: f64,
+) -> WorstCases {
+    debug_assert!(hour_window <= day_window && day_window <= week_window);
+    WorstCases {
+        hourly: series.expected_max_ms(hour_window, collected_hours),
+        daily: series.expected_max_ms(day_window, collected_hours),
+        weekly: series.expected_max_ms(week_window, collected_hours),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_maxima_splits_blocks() {
+        let mut b = BlockMaxima::new(Cycles(100));
+        b.record(Instant(10), 1.0);
+        b.record(Instant(50), 3.0);
+        b.record(Instant(150), 2.0); // Next block.
+        b.record(Instant(350), 5.0); // Skips one empty block.
+        assert_eq!(b.maxima(), &[3.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn expected_max_over_windows() {
+        let mut b = BlockMaxima::new(Cycles(10));
+        for (i, v) in [1.0, 5.0, 2.0, 4.0, 9.0, 3.0].iter().enumerate() {
+            b.record(Instant(i as u64 * 10 + 5), *v);
+        }
+        b.record(Instant(65), 0.1); // Close the 6th block.
+        // Windows of 2: max(1,5)=5, max(2,4)=4, max(9,3)=9 -> mean 6.
+        assert_eq!(b.expected_max_over(2), Some(6.0));
+        assert_eq!(b.expected_max_over(7), None);
+    }
+
+    #[test]
+    fn series_block_path_used_when_data_sufficient() {
+        let cpu = 300_000_000u64;
+        let mut s = LatencySeries::new("test", cpu);
+        // 3 hours of samples at one per second, all 1.0 ms except one 8 ms
+        // spike per hour.
+        for sec in 0..(3 * 3600) {
+            let now = Instant(Cycles::from_ms_at(sec as f64 * 1000.0, cpu).0);
+            let v = if sec % 3600 == 1800 { 8.0 } else { 1.0 };
+            s.record(now, v);
+        }
+        let hourly = s.expected_max_ms(1.0, 3.0);
+        assert!(
+            (hourly - 8.0).abs() < 1.0,
+            "hourly max should find the spike: {hourly}"
+        );
+    }
+
+    #[test]
+    fn series_quantile_path_used_when_data_short() {
+        let cpu = 300_000_000u64;
+        let mut s = LatencySeries::new("test", cpu);
+        // 6 simulated minutes at 1 kHz: 360k samples, heavy tail.
+        for i in 0..360_000u64 {
+            let now = Instant(Cycles::from_ms_at(i as f64, cpu).0);
+            // 1 in 10k samples is a 10 ms spike; the rest are 0.1 ms.
+            let v = if i % 10_000 == 0 { 10.0 } else { 0.1 };
+            s.record(now, v);
+        }
+        // Weekly window (4 h) exceeds the 0.1 h collected: quantile path.
+        let weekly = s.expected_max_ms(4.0, 0.1);
+        assert!(
+            weekly >= 10.0,
+            "weekly estimate must reach the observed tail: {weekly}"
+        );
+        assert!(weekly <= 30.0, "extrapolation is capped: {weekly}");
+    }
+
+    #[test]
+    fn worst_cases_are_monotone() {
+        let cpu = 300_000_000u64;
+        let mut s = LatencySeries::new("t", cpu);
+        let mut x = 0.0;
+        for i in 0..100_000u64 {
+            let now = Instant(Cycles::from_ms_at(i as f64, cpu).0);
+            // A slowly diversifying series.
+            x = (x + 0.37) % 7.0;
+            s.record(now, 0.05 + x * x * 0.1);
+        }
+        let wc = worst_cases(&s, 100_000.0 / 3_600_000.0, 0.1, 0.8, 4.0);
+        assert!(wc.hourly <= wc.daily + 1e-9);
+        assert!(wc.daily <= wc.weekly + 1e-9);
+    }
+
+    #[test]
+    fn extrapolation_never_below_observed_max() {
+        let cpu = 300_000_000u64;
+        let mut s = LatencySeries::new("t", cpu);
+        for i in 0..1000u64 {
+            let now = Instant(Cycles::from_ms_at(i as f64, cpu).0);
+            s.record(now, if i == 500 { 20.0 } else { 0.2 });
+        }
+        let q = s.extrapolated_quantile(1e-7);
+        assert!(q >= 20.0);
+        assert!(q <= 60.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Integration tests for the measurement tooling under realistic load:
+//! tool cadence, legacy driver, profiler attribution, and worst-case
+//! consistency between the driver-computed and ground-truth series.
+
+use std::{cell::RefCell, rc::Rc};
+
+use wdm_latency::{
+    legacy::LegacyWin9xTool,
+    profiler::Profiler,
+    session::{measure_scenario, MeasureOptions},
+    tool::MeasurementSession,
+};
+use wdm_osmodel::personality::{LoadFactors, OsKind, OsPersonality};
+use wdm_sim::time::Cycles;
+use wdm_workloads::WorkloadKind;
+
+#[test]
+fn tool_cadence_tracks_the_period() {
+    // At a 1 ms period on an unloaded NT machine, the tool should complete
+    // close to one round per PIT tick... minus the re-arm round trip, which
+    // skips every other tick (arm at tick k, expire at tick k+1).
+    let p = OsPersonality::nt4();
+    let mut k = p.build_kernel(4);
+    let session = MeasurementSession::install(&mut k, 1.0);
+    k.run_for(Cycles::from_ms_at(2_000.0, k.config().cpu_hz));
+    let rounds = session.rt28.results.borrow().rounds;
+    assert!(
+        (900..=2_000).contains(&rounds),
+        "expected ~1000 rounds in 2 s, got {rounds}"
+    );
+}
+
+#[test]
+fn tool_cadence_degrades_under_win98_thread_stalls() {
+    // On Windows 98 under games, long thread stalls hold the IRP open and
+    // the cadence drops below the idle rate — the same gating the paper's
+    // tool had.
+    let idle = {
+        let p = OsPersonality::win98();
+        let mut k = p.build_kernel(4);
+        let s = MeasurementSession::install(&mut k, 1.0);
+        k.run_for(Cycles::from_ms_at(5_000.0, k.config().cpu_hz));
+        let r = s.rt28.results.borrow().rounds;
+        r
+    };
+    let loaded = {
+        let m = measure_scenario(
+            OsKind::Win98,
+            WorkloadKind::Games,
+            4,
+            5.0 / 3600.0,
+            &MeasureOptions::default(),
+        );
+        m.waits_28
+    };
+    assert!(
+        loaded < idle,
+        "load must reduce tool cadence: idle {idle} vs loaded {loaded}"
+    );
+}
+
+#[test]
+fn legacy_tool_matches_truth_collector_on_win98() {
+    let p = OsPersonality::win98();
+    let mut k = p.build_kernel(6);
+    p.install_background(&mut k, &LoadFactors::idle());
+    let session = MeasurementSession::install(&mut k, 1.0);
+    let legacy = LegacyWin9xTool::install(&mut k, OsKind::Win98, 1.0).expect("win98");
+    k.run_for(Cycles::from_ms_at(10_000.0, k.config().cpu_hz));
+    let truth = session.truth.borrow();
+    let legacy = legacy.records.borrow();
+    // Both see the same PIT interrupt latency distribution.
+    let a = truth.pit_int.hist.mean_ms();
+    let b = legacy.int_latency.hist.mean_ms();
+    assert!(
+        (a - b).abs() < 0.01,
+        "legacy tool and truth disagree: {a} vs {b}"
+    );
+}
+
+#[test]
+fn profiler_attributes_workload_cpu_sanely() {
+    // Profile a Win98 business scenario: the sampled shares per level
+    // should roughly match the kernel's own cycle accounting.
+    let mut scenario = wdm_workloads::build_scenario(
+        OsKind::Win98,
+        WorkloadKind::Business,
+        8,
+        &Default::default(),
+    );
+    let prof = Rc::new(RefCell::new(Profiler::install(&mut scenario.kernel, 8_000)));
+    scenario.kernel.add_observer(prof.clone());
+    scenario
+        .kernel
+        .run_for(Cycles::from_ms_at(10_000.0, scenario.kernel.config().cpu_hz));
+    let prof = prof.borrow();
+    assert!(prof.total > 50_000, "8 kHz x 10 s: {}", prof.total);
+    // Idle share from the profile vs from accounting (exclude profiler's
+    // own ~0.4% overhead from the comparison tolerance).
+    let idle_label = wdm_sim::labels::Label::IDLE;
+    let idle_share = prof.counts.get(&idle_label).copied().unwrap_or(0) as f64
+        / prof.total as f64;
+    let acct = scenario.kernel.account;
+    let idle_acct = acct.idle as f64 / acct.total() as f64;
+    assert!(
+        (idle_share - idle_acct).abs() < 0.08,
+        "profiled idle {idle_share:.3} vs accounted idle {idle_acct:.3}"
+    );
+    let report = prof.render(scenario.kernel.symbols(), 10);
+    assert!(report.contains("%"));
+}
+
+#[test]
+fn worst_case_estimates_shrink_with_more_data() {
+    // A methodology property: with the same underlying process, the hourly
+    // estimate from a long run (block maxima) should not wildly exceed the
+    // tail-extrapolated estimate from a short run.
+    let short = measure_scenario(
+        OsKind::Win98,
+        WorkloadKind::Business,
+        12,
+        2.0 / 60.0,
+        &MeasureOptions::default(),
+    );
+    let long = measure_scenario(
+        OsKind::Win98,
+        WorkloadKind::Business,
+        12,
+        10.0 / 60.0,
+        &MeasureOptions::default(),
+    );
+    let (h, _, _) = short.usage.windows();
+    let e_short = short.thread_int_28.expected_max_ms(h, short.collected_hours);
+    let e_long = long.thread_int_28.expected_max_ms(h, long.collected_hours);
+    let ratio = (e_short / e_long).max(e_long / e_short);
+    assert!(
+        ratio < 6.0,
+        "hourly estimates unstable across durations: {e_short} vs {e_long}"
+    );
+}

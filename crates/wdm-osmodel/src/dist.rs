@@ -1,0 +1,414 @@
+//! Duration distributions for stochastic OS and workload behavior.
+//!
+//! The paper's central observation is that Windows service times are "highly
+//! non-deterministic": worst cases are orders of magnitude above the average
+//! (§1.3). We model foreign ISR/DPC work, interrupt-disabled windows and
+//! Windows 98 kernel sections with heavy-tailed distributions — log-normal
+//! and bounded Pareto — capped at physically plausible maxima so weekly
+//! worst cases stay finite, as the measured Table 3 shows they do.
+//!
+//! All parameters are in **milliseconds**; conversion to cycles happens when
+//! a distribution is turned into a [`Sampler`] for the simulator.
+
+use rand::{rngs::StdRng, Rng};
+use wdm_sim::{env::Sampler, time::Cycles};
+
+/// A duration distribution with parameters in milliseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dist {
+    /// Always the same value.
+    Constant(f64),
+    /// Uniform over `[lo, hi]`.
+    Uniform {
+        /// Lower bound (ms).
+        lo: f64,
+        /// Upper bound (ms).
+        hi: f64,
+    },
+    /// Exponential with the given mean; the natural inter-arrival
+    /// distribution for Poisson event sources.
+    Exponential {
+        /// Mean (ms).
+        mean: f64,
+    },
+    /// Log-normal parameterized by its median and log-space sigma, truncated
+    /// at `cap` (use `f64::INFINITY` for no cap). The workhorse for OS
+    /// service-time tails.
+    LogNormal {
+        /// Median (ms): `exp(mu)`.
+        median: f64,
+        /// Log-space standard deviation; 1.5–2.5 gives the multi-decade
+        /// tails seen in Figure 4.
+        sigma: f64,
+        /// Truncation point (ms).
+        cap: f64,
+    },
+    /// Bounded Pareto on `[xmin, cap]` with shape `alpha`; heavier tails
+    /// than log-normal for the same body.
+    ParetoBounded {
+        /// Scale / minimum (ms).
+        xmin: f64,
+        /// Shape; smaller is heavier. Must be positive and not 1.0 exactly.
+        alpha: f64,
+        /// Upper bound (ms).
+        cap: f64,
+    },
+    /// A weighted mixture of component distributions. Weights need not sum
+    /// to one; they are normalized. The standard model for "usually fast,
+    /// occasionally awful" kernel paths.
+    Mixture(Vec<(f64, Dist)>),
+}
+
+impl Dist {
+    /// Draws one value in milliseconds.
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => rng.gen_range(*lo..=*hi),
+            Dist::Exponential { mean } => {
+                // Inverse CDF; guard the log away from zero.
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                -mean * u.ln()
+            }
+            Dist::LogNormal { median, sigma, cap } => {
+                let z = sample_standard_normal(rng);
+                (median * (sigma * z).exp()).min(*cap)
+            }
+            Dist::ParetoBounded { xmin, alpha, cap } => {
+                // Inverse CDF of the bounded Pareto.
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let l = xmin.powf(*alpha);
+                let h = cap.powf(*alpha);
+                let x = (-(u * h - u * l - h) / (h * l)).powf(-1.0 / alpha);
+                x.clamp(*xmin, *cap)
+            }
+            Dist::Mixture(parts) => {
+                let total: f64 = parts.iter().map(|(w, _)| w).sum();
+                let mut pick = rng.gen_range(0.0..total);
+                for (w, d) in parts {
+                    if pick < *w {
+                        return d.sample(rng);
+                    }
+                    pick -= w;
+                }
+                parts
+                    .last()
+                    .expect("mixture must have at least one component")
+                    .1
+                    .sample(rng)
+            }
+        }
+    }
+
+    /// Returns the distribution with all durations scaled by `k`.
+    ///
+    /// Scaling a Poisson *rate* by `k` means scaling its inter-arrival
+    /// `Exponential` mean by `1/k`; use [`Dist::scaled`] on durations and
+    /// adjust rates explicitly.
+    pub fn scaled(&self, k: f64) -> Dist {
+        assert!(k > 0.0, "scale factor must be positive");
+        match self {
+            Dist::Constant(v) => Dist::Constant(v * k),
+            Dist::Uniform { lo, hi } => Dist::Uniform {
+                lo: lo * k,
+                hi: hi * k,
+            },
+            Dist::Exponential { mean } => Dist::Exponential { mean: mean * k },
+            Dist::LogNormal { median, sigma, cap } => Dist::LogNormal {
+                median: median * k,
+                sigma: *sigma,
+                cap: cap * k,
+            },
+            Dist::ParetoBounded { xmin, alpha, cap } => Dist::ParetoBounded {
+                xmin: xmin * k,
+                alpha: *alpha,
+                cap: cap * k,
+            },
+            Dist::Mixture(parts) => {
+                Dist::Mixture(parts.iter().map(|(w, d)| (*w, d.scaled(k))).collect())
+            }
+        }
+    }
+
+    /// Approximate mean in milliseconds (analytic where closed-form,
+    /// ignoring truncation for the log-normal, which slightly overestimates).
+    pub fn mean(&self) -> f64 {
+        match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => (lo + hi) / 2.0,
+            Dist::Exponential { mean } => *mean,
+            Dist::LogNormal { median, sigma, .. } => median * (sigma * sigma / 2.0).exp(),
+            Dist::ParetoBounded { xmin, alpha, cap } => {
+                // Mean of the bounded Pareto on [L, H] with shape a:
+                // E[X] = L^a / (1 - (L/H)^a) * a/(a-1) * (L^(1-a) - H^(1-a)).
+                let (l, h, a) = (*xmin, *cap, *alpha);
+                if (a - 1.0).abs() < 1e-9 {
+                    (h / l).ln() * l * h / (h - l)
+                } else {
+                    let norm = l.powf(a) / (1.0 - (l / h).powf(a));
+                    norm * a / (a - 1.0) * (l.powf(1.0 - a) - h.powf(1.0 - a))
+                }
+            }
+            Dist::Mixture(parts) => {
+                let total: f64 = parts.iter().map(|(w, _)| w).sum();
+                parts.iter().map(|(w, d)| w / total * d.mean()).sum()
+            }
+        }
+    }
+
+    /// Converts to a cycle-valued sampler for the simulator at `cpu_hz`.
+    pub fn sampler(&self, cpu_hz: u64) -> Sampler {
+        let d = self.clone();
+        Box::new(move |rng: &mut StdRng| Cycles::from_ms_at(d.sample(rng).max(0.0), cpu_hz))
+    }
+}
+
+/// Inter-arrival sampler for a Poisson process of the given rate (events per
+/// second of simulated time).
+pub fn poisson_arrivals(rate_hz: f64, cpu_hz: u64) -> Sampler {
+    assert!(rate_hz > 0.0, "arrival rate must be positive");
+    Dist::Exponential {
+        mean: 1000.0 / rate_hz,
+    }
+    .sampler(cpu_hz)
+}
+
+/// Inter-arrival sampler for a two-state Markov-modulated Poisson process:
+/// bursts of `on_rate_hz` arrivals lasting ~`mean_on_ms`, separated by
+/// quiet periods of `off_rate_hz` lasting ~`mean_off_ms`.
+///
+/// The paper's §3.1.1 observes that "long spurts of system activity ...
+/// because of, for example, file copying" are what actually stretch
+/// latencies — a plain Poisson stream underestimates that clustering.
+pub fn bursty_arrivals(
+    on_rate_hz: f64,
+    off_rate_hz: f64,
+    mean_on_ms: f64,
+    mean_off_ms: f64,
+    cpu_hz: u64,
+) -> Sampler {
+    assert!(on_rate_hz > 0.0 && off_rate_hz > 0.0, "rates must be positive");
+    assert!(mean_on_ms > 0.0 && mean_off_ms > 0.0, "phases must be positive");
+    // Phase state lives inside the closure: remaining time in the current
+    // phase, and whether we're in a burst.
+    let mut in_burst = false;
+    let mut phase_left_ms = 0.0f64;
+    Box::new(move |rng: &mut StdRng| {
+        let mut gap_ms = 0.0f64;
+        loop {
+            if phase_left_ms <= 0.0 {
+                // Enter the next phase with an exponential duration.
+                in_burst = !in_burst;
+                let mean = if in_burst { mean_on_ms } else { mean_off_ms };
+                phase_left_ms = Dist::Exponential { mean }.sample(rng);
+            }
+            let rate = if in_burst { on_rate_hz } else { off_rate_hz };
+            let candidate = Dist::Exponential {
+                mean: 1000.0 / rate,
+            }
+            .sample(rng);
+            if candidate <= phase_left_ms {
+                phase_left_ms -= candidate;
+                gap_ms += candidate;
+                return Cycles::from_ms_at(gap_ms, cpu_hz);
+            }
+            // No arrival within this phase: consume it and roll the next.
+            gap_ms += phase_left_ms;
+            phase_left_ms = 0.0;
+        }
+    })
+}
+
+/// Box–Muller standard normal.
+fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn sample_mean(d: &Dist, n: usize) -> f64 {
+        let mut r = rng();
+        (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = Dist::Constant(3.5);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut r), 3.5);
+        }
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Dist::Uniform { lo: 1.0, hi: 3.0 };
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = d.sample(&mut r);
+            assert!((1.0..=3.0).contains(&x));
+        }
+        assert!((sample_mean(&d, 20_000) - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Dist::Exponential { mean: 5.0 };
+        assert!((sample_mean(&d, 100_000) - 5.0).abs() < 0.15);
+        assert!((d.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lognormal_median_and_cap() {
+        let d = Dist::LogNormal {
+            median: 1.0,
+            sigma: 2.0,
+            cap: 50.0,
+        };
+        let mut r = rng();
+        let mut samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut r)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[25_000];
+        assert!(
+            (median - 1.0).abs() < 0.1,
+            "median should be ~1.0, got {median}"
+        );
+        assert!(samples.iter().all(|&x| x <= 50.0), "cap must bind");
+        // With sigma=2 the tail is long: some samples land at the cap.
+        assert!(*samples.last().unwrap() > 40.0);
+    }
+
+    #[test]
+    fn pareto_bounds_and_tail() {
+        let d = Dist::ParetoBounded {
+            xmin: 0.1,
+            alpha: 1.3,
+            cap: 20.0,
+        };
+        let mut r = rng();
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&x| (0.1..=20.0).contains(&x)));
+        let over_5 = samples.iter().filter(|&&x| x > 5.0).count();
+        // Heavy tail: a visible fraction above 50x the minimum.
+        assert!(over_5 > 50, "bounded Pareto tail too thin: {over_5}");
+    }
+
+    #[test]
+    fn mixture_weights_respected() {
+        let d = Dist::Mixture(vec![
+            (9.0, Dist::Constant(1.0)),
+            (1.0, Dist::Constant(100.0)),
+        ]);
+        let mut r = rng();
+        let n = 50_000;
+        let big = (0..n).filter(|_| d.sample(&mut r) > 50.0).count();
+        let frac = big as f64 / n as f64;
+        assert!(
+            (frac - 0.1).abs() < 0.01,
+            "10% of draws should hit the rare branch, got {frac}"
+        );
+        assert!((d.mean() - (0.9 + 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_scales_durations() {
+        let d = Dist::Uniform { lo: 1.0, hi: 2.0 }.scaled(3.0);
+        assert_eq!(d, Dist::Uniform { lo: 3.0, hi: 6.0 });
+        let m = Dist::Mixture(vec![(1.0, Dist::Constant(2.0))]).scaled(0.5);
+        assert!((m.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampler_converts_to_cycles() {
+        let d = Dist::Constant(1.0);
+        let mut s = d.sampler(300_000_000);
+        let mut r = rng();
+        assert_eq!(s(&mut r), Cycles(300_000));
+    }
+
+    #[test]
+    fn poisson_arrival_rate() {
+        let mut s = poisson_arrivals(1000.0, 300_000_000);
+        let mut r = rng();
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| s(&mut r).0).sum();
+        let mean_gap_ms = Cycles(total / n).as_ms();
+        assert!(
+            (mean_gap_ms - 1.0).abs() < 0.05,
+            "1 kHz arrivals should average 1 ms gaps, got {mean_gap_ms}"
+        );
+    }
+
+    #[test]
+    fn bursty_arrivals_have_long_run_rate_between_phases() {
+        let mut s = bursty_arrivals(2_000.0, 20.0, 50.0, 450.0, 300_000_000);
+        let mut r = rng();
+        let n = 50_000;
+        let total: u64 = (0..n).map(|_| s(&mut r).0).sum();
+        let secs = Cycles(total).as_ms() / 1000.0;
+        let rate = n as f64 / secs;
+        // Long-run rate = (2000*50 + 20*450) / 500 = 218/s.
+        assert!(
+            (150.0..300.0).contains(&rate),
+            "long-run MMPP rate should be ~218/s, got {rate}"
+        );
+    }
+
+    #[test]
+    fn bursty_arrivals_cluster() {
+        // Compare the coefficient of variation against a plain Poisson
+        // process of the same long-run rate: bursts inflate it well past 1.
+        let cv = |gaps: &[f64]| {
+            let n = gaps.len() as f64;
+            let mean = gaps.iter().sum::<f64>() / n;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / n;
+            var.sqrt() / mean
+        };
+        let mut r = rng();
+        let mut bursty = bursty_arrivals(2_000.0, 10.0, 20.0, 480.0, 300_000_000);
+        let gaps: Vec<f64> = (0..30_000).map(|_| Cycles(bursty(&mut r).0).as_ms()).collect();
+        let cv_bursty = cv(&gaps);
+        let mut poisson = poisson_arrivals(100.0, 300_000_000);
+        let gaps: Vec<f64> = (0..30_000).map(|_| Cycles(poisson(&mut r).0).as_ms()).collect();
+        let cv_poisson = cv(&gaps);
+        assert!(
+            cv_bursty > cv_poisson * 1.5,
+            "bursty CV {cv_bursty} should far exceed Poisson CV {cv_poisson}"
+        );
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "normal mean drifted: {mean}");
+        assert!((var - 1.0).abs() < 0.05, "normal variance drifted: {var}");
+    }
+
+    #[test]
+    fn pareto_mean_formula_close_to_empirical() {
+        let d = Dist::ParetoBounded {
+            xmin: 0.5,
+            alpha: 1.5,
+            cap: 30.0,
+        };
+        let emp = sample_mean(&d, 200_000);
+        let ana = d.mean();
+        assert!(
+            (emp - ana).abs() / ana < 0.1,
+            "analytic {ana} vs empirical {emp}"
+        );
+    }
+}

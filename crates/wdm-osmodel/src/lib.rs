@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # wdm-osmodel — OS personalities for the WDM latency reproduction
+//!
+//! Parameterizes the `wdm-sim` kernel as **Windows NT 4.0** or **Windows
+//! 98** (paper Table 2 machines), and provides:
+//!
+//! - [`dist`] — heavy-tailed duration distributions (log-normal, bounded
+//!   Pareto, mixtures) used for all stochastic OS/workload behavior;
+//! - [`personality`] — the per-OS kernel cost tables and background
+//!   activity (cli windows, Windows 98 non-preemptible VMM sections);
+//! - [`workitem`] — the NT kernel work-item queue serviced at real-time
+//!   default priority, the cause of NT's priority-24 latency tail;
+//! - [`perturb`] — the Plus! 98 virus scanner and sound-scheme modules used
+//!   for Figure 5 and Table 4;
+//! - [`machine`] — the Table 2 test-system configuration renderer.
+
+pub mod dist;
+pub mod machine;
+pub mod personality;
+pub mod perturb;
+pub mod workitem;
+
+pub use dist::Dist;
+pub use personality::{LoadFactors, OsKind, OsPersonality};
+pub use perturb::{SoundScheme, SoundSchemePerturbation, VirusScanner};
+pub use workitem::WorkItemQueue;

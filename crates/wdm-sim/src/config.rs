@@ -1,0 +1,125 @@
+//! Kernel/machine configuration.
+//!
+//! Collects the fixed overhead costs of the simulated kernel paths. The
+//! numbers are parameters, not constants: the NT 4.0 and Windows 98
+//! personalities in `wdm-osmodel` provide calibrated values; the defaults
+//! here are the neutral NT-flavored baseline.
+
+use crate::{
+    dpc::DpcDiscipline,
+    time::{Cycles, DEFAULT_CPU_HZ},
+};
+
+/// Fixed costs and machine parameters for a [`crate::kernel::Kernel`].
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// Processor clock rate (TSC frequency). Default: 300 MHz (Table 2).
+    pub cpu_hz: u64,
+    /// PIT clock interrupt frequency. The paper reprograms the default
+    /// 67–100 Hz to 1 kHz (§2.2).
+    pub pit_hz: u64,
+    /// Interrupt entry: IDT vectoring, trap frame setup, IRQL raise.
+    pub isr_dispatch_cost: Cycles,
+    /// Interrupt exit: EOI, trap frame teardown.
+    pub isr_exit_cost: Cycles,
+    /// The clock ISR body itself (time update, timer list check).
+    pub pit_isr_cost: Cycles,
+    /// Per-expired-timer processing inside the clock ISR.
+    pub timer_expiry_cost: Cycles,
+    /// Dequeue-and-call overhead per DPC.
+    pub dpc_dispatch_cost: Cycles,
+    /// Scheduler decision when a dispatch is needed.
+    pub dispatch_cost: Cycles,
+    /// Thread context save/restore, including the expected cache refill
+    /// penalty (the paper argues this belongs *in* the measurement, contra
+    /// hbench:OS — §1.2).
+    pub context_switch_cost: Cycles,
+    /// Cost of any other kernel service call (KeSetEvent, KeSetTimer,
+    /// KeInsertQueueDpc, a satisfied wait, ...). Charging every call keeps
+    /// the model honest — and guarantees that no program can execute
+    /// without consuming simulated time.
+    pub service_call_cost: Cycles,
+    /// Timeslice length for round-robin within a priority level.
+    pub quantum: Cycles,
+    /// DPC queue discipline (FIFO in WDM; LIFO for ablation).
+    pub dpc_discipline: DpcDiscipline,
+    /// Priority boost applied to dynamic-band (1..=15) threads when a wait
+    /// is satisfied, decaying one level per quantum back to the base
+    /// priority (the NT dispatcher behavior). Real-time threads are never
+    /// boosted. Zero disables boosting.
+    pub dynamic_boost: u8,
+    /// Seed for the kernel's deterministic RNG.
+    pub seed: u64,
+}
+
+impl KernelConfig {
+    /// PIT tick period in cycles under this configuration.
+    pub fn pit_period(&self) -> Cycles {
+        Cycles(self.cpu_hz / self.pit_hz)
+    }
+
+    /// Converts milliseconds to cycles at this machine's clock rate.
+    pub fn ms(&self, ms: f64) -> Cycles {
+        Cycles::from_ms_at(ms, self.cpu_hz)
+    }
+
+    /// Converts microseconds to cycles at this machine's clock rate.
+    pub fn us(&self, us: f64) -> Cycles {
+        Cycles::from_us_at(us, self.cpu_hz)
+    }
+
+    /// Converts cycles to milliseconds at this machine's clock rate.
+    pub fn cycles_as_ms(&self, c: Cycles) -> f64 {
+        c.as_ms_at(self.cpu_hz)
+    }
+}
+
+impl Default for KernelConfig {
+    fn default() -> KernelConfig {
+        KernelConfig {
+            cpu_hz: DEFAULT_CPU_HZ,
+            pit_hz: 1_000,
+            // ~2 us interrupt entry and ~1 us exit on a P-II class machine.
+            isr_dispatch_cost: Cycles(600),
+            isr_exit_cost: Cycles(300),
+            // ~3 us clock ISR.
+            pit_isr_cost: Cycles(900),
+            timer_expiry_cost: Cycles(150),
+            // ~1.5 us DPC dequeue+call.
+            dpc_dispatch_cost: Cycles(450),
+            // ~2 us dispatcher decision.
+            dispatch_cost: Cycles(600),
+            // ~10 us context switch including expected cache disturbance.
+            context_switch_cost: Cycles(3_000),
+            // ~0.2 us per kernel service call.
+            service_call_cost: Cycles(60),
+            // 20 ms quantum.
+            quantum: Cycles(6_000_000),
+            dpc_discipline: DpcDiscipline::Fifo,
+            dynamic_boost: 2,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pit_is_1khz() {
+        let c = KernelConfig::default();
+        assert_eq!(c.pit_period(), Cycles(300_000));
+    }
+
+    #[test]
+    fn ms_helper_uses_configured_clock() {
+        let c = KernelConfig {
+            cpu_hz: 100_000_000,
+            ..KernelConfig::default()
+        };
+        assert_eq!(c.ms(1.0), Cycles(100_000));
+        assert!((c.cycles_as_ms(Cycles(50_000)) - 0.5).abs() < 1e-12);
+        assert_eq!(c.us(10.0), Cycles(1_000));
+    }
+}

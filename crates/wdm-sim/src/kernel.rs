@@ -1,0 +1,1766 @@
+//! The simulated WDM kernel: a single CPU executing the scheduling
+//! hierarchy of the paper's §4.1.
+//!
+//! The hierarchy, from most to least privileged:
+//!
+//! 1. **Interrupt service routines** at DIRQL..HIGH — preempt everything
+//!    below their IRQL; delayed only by interrupt-disabled (`cli`) windows
+//!    and higher-IRQL activity.
+//! 2. **Deferred procedure calls** at DISPATCH — run after all ISRs retire,
+//!    FIFO, never preempting one another.
+//! 3. **Real-time priority threads** (16–31) and **normal threads** (1–15)
+//!    — fixed-priority preemptive with round-robin quanta.
+//!
+//! On Windows 98 the hierarchy is complicated by legacy non-preemptible
+//! kernel sections that block thread dispatch while letting ISRs and DPCs
+//! run; those are modeled as *section* frames injected by environment
+//! sources (see [`crate::env`]).
+//!
+//! The kernel is a discrete-event simulator: simulated code is a set of
+//! [`Program`]s yielding [`Step`]s, and the main loop advances the TSC to
+//! the next decision point (hardware event, busy-chunk completion, quantum
+//! expiry). Everything is deterministic given the configuration seed.
+
+use std::{
+    cell::RefCell,
+    cmp::Reverse,
+    collections::{BinaryHeap, VecDeque},
+    rc::Rc,
+};
+
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::{
+    config::KernelConfig,
+    dpc::{DpcImportance, DpcQueue},
+    env::{EnvAction, EnvSource},
+    ids::{
+        ApcId, DpcId, EventId, IrpId, MutexId, SemId, Slot, SourceId, ThreadId, TimerId, VectorId,
+        WaitObject, WaitSetId,
+    },
+    interrupt::InterruptController,
+    irp::Irp,
+    irql::Irql,
+    labels::{Label, SymbolTable},
+    object::{EventKind, KEvent, KMutex, KSemaphore},
+    observer::{DpcStart, IsrEnter, Observer, ThreadResume},
+    sched::ReadyQueues,
+    step::{Blackboard, ExecState, Program, Step, StepCtx},
+    thread::{Tcb, ThreadState},
+    timer::{KTimer, Pit},
+    time::{Cycles, Instant},
+};
+
+/// A DPC object: a routine plus queueing metadata.
+pub struct DpcObject {
+    /// Debug name.
+    pub name: String,
+    /// Queue insertion importance.
+    pub importance: DpcImportance,
+    /// The routine; taken out while executing.
+    program: Option<Box<dyn Program>>,
+    /// Executions so far.
+    pub run_count: u64,
+}
+
+/// ISR body for a vector: a user program, or the kernel's internal clock
+/// ISR for the PIT vector.
+enum IsrBody {
+    User(Option<Box<dyn Program>>),
+    Pit,
+}
+
+/// One level of the preemption stack above the running thread.
+struct Frame {
+    kind: FrameKind,
+    exec: ExecState,
+}
+
+enum FrameKind {
+    /// An interrupt being serviced. `phase`: 0 = entry overhead, 1 = body,
+    /// 2 = exit overhead.
+    Isr {
+        vector: VectorId,
+        asserted: Instant,
+        interrupted: Label,
+        program: Option<Box<dyn Program>>,
+        is_pit: bool,
+        phase: u8,
+    },
+    /// The DPC drain loop at DISPATCH level.
+    DpcDrain { current: Option<CurrentDpc> },
+    /// An interrupt-disabled window.
+    Cli,
+    /// A non-preemptible kernel section: blocks thread dispatch only.
+    Section,
+}
+
+struct CurrentDpc {
+    dpc: DpcId,
+    program: Option<Box<dyn Program>>,
+    queued: Instant,
+    started: bool,
+}
+
+/// Cycle accounting by scheduling-hierarchy level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleAccount {
+    /// Cycles in ISRs (entry/exit overhead included).
+    pub isr: u64,
+    /// Cycles in DPCs (dispatch overhead included).
+    pub dpc: u64,
+    /// Cycles in interrupt-disabled windows injected by the environment.
+    pub cli: u64,
+    /// Cycles in non-preemptible kernel sections.
+    pub section: u64,
+    /// Cycles in threads (dispatch/switch overhead included).
+    pub thread: u64,
+    /// Idle cycles.
+    pub idle: u64,
+}
+
+impl CycleAccount {
+    /// Total accounted cycles.
+    pub fn total(&self) -> u64 {
+        self.isr + self.dpc + self.cli + self.section + self.thread + self.idle
+    }
+}
+
+/// Shared handle to an observer; keep a clone to read results after a run.
+pub type ObserverHandle<T> = Rc<RefCell<T>>;
+
+/// The simulated machine and kernel.
+pub struct Kernel {
+    config: KernelConfig,
+    now: Instant,
+    rng: StdRng,
+    symbols: SymbolTable,
+    board: Blackboard,
+    ic: InterruptController,
+    isr_bodies: Vec<IsrBody>,
+    pit: Pit,
+    pit_vector: VectorId,
+    pit_label: Label,
+    dpcs: Vec<DpcObject>,
+    dpc_queue: DpcQueue,
+    timers: Vec<KTimer>,
+    events: Vec<KEvent>,
+    sems: Vec<KSemaphore>,
+    mutexes: Vec<KMutex>,
+    wait_sets: Vec<Vec<WaitObject>>,
+    apc_routines: Vec<Option<Box<dyn Program>>>,
+    irps: Vec<Irp>,
+    threads: Vec<Tcb>,
+    ready: ReadyQueues,
+    current_thread: Option<ThreadId>,
+    frames: Vec<Frame>,
+    pending_sections: VecDeque<(Cycles, Label)>,
+    env: Vec<EnvSource>,
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    heap_seq: u64,
+    observers: Vec<Rc<RefCell<dyn Observer>>>,
+    resched: bool,
+    current_label: Label,
+    /// Cycle accounting by hierarchy level.
+    pub account: CycleAccount,
+    /// Total thread context switches.
+    pub context_switches: u64,
+    /// Timed waits that expired.
+    pub wait_timeouts: u64,
+}
+
+impl Kernel {
+    /// Builds a kernel from a configuration. The PIT vector is installed
+    /// automatically at CLOCK level.
+    pub fn new(config: KernelConfig) -> Kernel {
+        let mut symbols = SymbolTable::new();
+        let pit_label = symbols.intern("HAL", "_HalpClockInterrupt");
+        let mut ic = InterruptController::new();
+        let pit_vector = ic.install("PIT", Irql::CLOCK);
+        let pit = Pit::from_hz(config.pit_hz, config.cpu_hz);
+        let seed = config.seed;
+        let dpc_discipline = config.dpc_discipline;
+        Kernel {
+            config,
+            now: Instant::ZERO,
+            rng: StdRng::seed_from_u64(seed),
+            symbols,
+            board: Blackboard::new(),
+            ic,
+            isr_bodies: vec![IsrBody::Pit],
+            pit,
+            pit_vector,
+            pit_label,
+            dpcs: Vec::new(),
+            dpc_queue: DpcQueue::new(dpc_discipline),
+            timers: Vec::new(),
+            events: Vec::new(),
+            sems: Vec::new(),
+            mutexes: Vec::new(),
+            wait_sets: Vec::new(),
+            apc_routines: Vec::new(),
+            irps: Vec::new(),
+            threads: Vec::new(),
+            ready: ReadyQueues::new(),
+            current_thread: None,
+            frames: Vec::new(),
+            pending_sections: VecDeque::new(),
+            env: Vec::new(),
+            heap: BinaryHeap::new(),
+            heap_seq: 0,
+            observers: Vec::new(),
+            resched: false,
+            current_label: Label::IDLE,
+            account: CycleAccount::default(),
+            context_switches: 0,
+            wait_timeouts: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Construction-time API
+    // ------------------------------------------------------------------
+
+    /// Interns a `module!function` label.
+    pub fn intern(&mut self, module: &str, function: &str) -> Label {
+        self.symbols.intern(module, function)
+    }
+
+    /// Interns a call chain (outermost caller first), returning the
+    /// innermost label. The cause tool renders the full chain (§6.1).
+    pub fn intern_chain(&mut self, chain: &[(&str, &str)]) -> Label {
+        self.symbols.intern_chain(chain)
+    }
+
+    /// Read access to the symbol table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Allocates blackboard slots.
+    pub fn alloc_slots(&mut self, n: usize) -> Slot {
+        self.board.alloc(n)
+    }
+
+    /// Reads a blackboard slot.
+    pub fn slot(&self, s: Slot) -> u64 {
+        self.board.read(s)
+    }
+
+    /// Writes a blackboard slot.
+    pub fn set_slot(&mut self, s: Slot, v: u64) {
+        self.board.write(s, v)
+    }
+
+    /// Creates an event object.
+    pub fn create_event(&mut self, kind: EventKind, signaled: bool) -> EventId {
+        let id = EventId(self.events.len());
+        self.events.push(KEvent::new(kind, signaled));
+        id
+    }
+
+    /// Creates a semaphore object.
+    pub fn create_semaphore(&mut self, initial: u32, limit: u32) -> SemId {
+        let id = SemId(self.sems.len());
+        self.sems.push(KSemaphore::new(initial, limit));
+        id
+    }
+
+    /// Creates a kernel mutex object.
+    pub fn create_mutex(&mut self) -> MutexId {
+        let id = MutexId(self.mutexes.len());
+        self.mutexes.push(KMutex::new());
+        id
+    }
+
+    /// Registers a multi-object wait set for `Step::WaitAny`.
+    ///
+    /// WaitAny semantics: the wait is satisfied by the first signaled
+    /// object; the satisfying index is reported through
+    /// `StepCtx::last_wait_index`.
+    pub fn create_wait_set(&mut self, objects: Vec<WaitObject>) -> WaitSetId {
+        assert!(
+            !objects.is_empty() && objects.len() <= 64,
+            "wait set must hold 1..=64 objects (MAXIMUM_WAIT_OBJECTS)"
+        );
+        let id = WaitSetId(self.wait_sets.len());
+        self.wait_sets.push(objects);
+        id
+    }
+
+    /// Creates an APC object with the given routine. Like a DPC object, an
+    /// APC object can be queued to one thread at a time.
+    pub fn create_apc(&mut self, routine: Box<dyn Program>) -> ApcId {
+        let id = ApcId(self.apc_routines.len());
+        self.apc_routines.push(Some(routine));
+        id
+    }
+
+    /// Creates a kernel timer, optionally bound to a DPC queued at expiry.
+    pub fn create_timer(&mut self, dpc: Option<DpcId>) -> TimerId {
+        let id = TimerId(self.timers.len());
+        self.timers.push(KTimer::new(dpc));
+        id
+    }
+
+    /// Creates a DPC object.
+    pub fn create_dpc(
+        &mut self,
+        name: &str,
+        importance: DpcImportance,
+        program: Box<dyn Program>,
+    ) -> DpcId {
+        let id = DpcId(self.dpcs.len());
+        self.dpcs.push(DpcObject {
+            name: name.to_string(),
+            importance,
+            program: Some(program),
+            run_count: 0,
+        });
+        id
+    }
+
+    /// Creates a kernel thread, initially ready.
+    pub fn create_thread(&mut self, name: &str, priority: u8, program: Box<dyn Program>) -> ThreadId {
+        let id = ThreadId(self.threads.len());
+        self.threads.push(Tcb::new(name, priority, program));
+        self.ready.push_back(id, priority);
+        self.resched = true;
+        id
+    }
+
+    /// Installs a device interrupt vector with a user ISR.
+    pub fn install_vector(&mut self, name: &str, irql: Irql, isr: Box<dyn Program>) -> VectorId {
+        let id = self.ic.install(name, irql);
+        debug_assert_eq!(id.0, self.isr_bodies.len());
+        self.isr_bodies.push(IsrBody::User(Some(isr)));
+        id
+    }
+
+    /// Installs a non-maskable vector: its ISR is dispatched even inside
+    /// cli windows, like the Pentium II performance-counter NMI (§6.1).
+    pub fn install_nmi_vector(&mut self, name: &str, irql: Irql, isr: Box<dyn Program>) -> VectorId {
+        let id = self.ic.install_nmi(name, irql);
+        debug_assert_eq!(id.0, self.isr_bodies.len());
+        self.isr_bodies.push(IsrBody::User(Some(isr)));
+        id
+    }
+
+    /// Adds an environment source and schedules its first arrival.
+    pub fn add_env_source(&mut self, mut src: EnvSource) -> SourceId {
+        let gap = src.next_gap(&mut self.rng);
+        let id = SourceId(self.env.len());
+        self.env.push(src);
+        self.schedule_env(id.0, self.now + gap);
+        id
+    }
+
+    /// Enables or disables an environment source (Figure 5 toggles the
+    /// virus scanner this way).
+    pub fn set_source_enabled(&mut self, id: SourceId, enabled: bool) {
+        self.env[id.0].enabled = enabled;
+    }
+
+    /// Creates an IRP with an `asb_len`-slot system buffer.
+    pub fn create_irp(&mut self, asb_len: usize, completion_event: Option<EventId>) -> IrpId {
+        let asb = self.board.alloc(asb_len);
+        let id = IrpId(self.irps.len());
+        self.irps.push(Irp::new(asb, asb_len, completion_event));
+        id
+    }
+
+    /// Read access to an IRP.
+    pub fn irp(&self, id: IrpId) -> &Irp {
+        &self.irps[id.0]
+    }
+
+    /// Re-issues an IRP (the control application's next read).
+    pub fn reissue_irp(&mut self, id: IrpId) {
+        let now = self.now;
+        self.irps[id.0].reissue(now);
+    }
+
+    /// Registers an observer. Keep a clone of the handle to read results.
+    pub fn add_observer<T: Observer + 'static>(&mut self, obs: ObserverHandle<T>) {
+        self.observers.push(obs);
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Current simulated time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &KernelConfig {
+        &self.config
+    }
+
+    /// The PIT vector id (CLOCK level).
+    pub fn pit_vector(&self) -> VectorId {
+        self.pit_vector
+    }
+
+    /// Read access to a thread.
+    pub fn thread(&self, id: ThreadId) -> &Tcb {
+        &self.threads[id.0]
+    }
+
+    /// Read access to a DPC object.
+    pub fn dpc(&self, id: DpcId) -> &DpcObject {
+        &self.dpcs[id.0]
+    }
+
+    /// Read access to a timer.
+    pub fn timer(&self, id: TimerId) -> &KTimer {
+        &self.timers[id.0]
+    }
+
+    /// Read access to an event.
+    pub fn event(&self, id: EventId) -> &KEvent {
+        &self.events[id.0]
+    }
+
+    /// Read access to an environment source.
+    pub fn env_source(&self, id: SourceId) -> &EnvSource {
+        &self.env[id.0]
+    }
+
+    /// Read access to the interrupt controller.
+    pub fn interrupts(&self) -> &InterruptController {
+        &self.ic
+    }
+
+    /// Number of DPCs currently queued.
+    pub fn dpc_queue_len(&self) -> usize {
+        self.dpc_queue.len()
+    }
+
+    /// Label charged for the most recently executed cycles.
+    pub fn current_label(&self) -> Label {
+        self.current_label
+    }
+
+    // ------------------------------------------------------------------
+    // External stimuli (tests and drivers between runs)
+    // ------------------------------------------------------------------
+
+    /// Asserts a device interrupt now.
+    pub fn assert_interrupt(&mut self, v: VectorId) {
+        let now = self.now;
+        self.ic.assert_line(v, now);
+    }
+
+    /// Signals an event from outside the simulation (test harness use).
+    pub fn signal_event(&mut self, e: EventId) {
+        self.do_set_event(e);
+    }
+
+    /// Releases a semaphore from outside the simulation.
+    pub fn release_semaphore(&mut self, s: SemId, count: u32) {
+        self.do_release_semaphore(s, count);
+    }
+
+    // ------------------------------------------------------------------
+    // The main loop
+    // ------------------------------------------------------------------
+
+    /// Runs the simulation for a duration.
+    pub fn run_for(&mut self, d: Cycles) {
+        let end = self.now + d;
+        self.run_until(end);
+    }
+
+    /// Runs the simulation until an absolute time.
+    pub fn run_until(&mut self, t_end: Instant) {
+        while self.now < t_end {
+            // Deliver hardware events that are due.
+            self.fire_due_events();
+            // Materialize what the CPU runs next; returns the absolute time
+            // at which the current busy chunk ends (None = idle).
+            let busy_end = self.ensure_activity();
+            // Next decision point.
+            let mut next = t_end.min(Instant(self.pit.next_tick.0));
+            if let Some(&Reverse((t, _, _))) = self.heap.peek() {
+                next = next.min(Instant(t));
+            }
+            if let Some(b) = busy_end {
+                next = next.min(b);
+            }
+            if let Some(q) = self.quantum_end() {
+                next = next.min(q);
+            }
+            debug_assert!(next >= self.now, "time must not run backwards");
+            self.advance_to(next);
+        }
+    }
+
+    /// Absolute end of the running thread's quantum, when a base-level
+    /// thread is executing program work.
+    fn quantum_end(&self) -> Option<Instant> {
+        if !self.frames.is_empty() {
+            return None;
+        }
+        let t = self.current_thread?;
+        let tcb = &self.threads[t.0];
+        // Dispatch overhead is kernel time and does not tick the quantum.
+        if tcb.in_overhead {
+            return None;
+        }
+        match tcb.exec {
+            ExecState::Busy { .. } => Some(self.now + tcb.quantum_remaining),
+            ExecState::NeedStep => None,
+        }
+    }
+
+    /// Delivers PIT ticks and environment arrivals that are due at `now`.
+    fn fire_due_events(&mut self) {
+        while self.pit.next_tick <= self.now {
+            let t = self.pit.next_tick;
+            self.ic.assert_line(self.pit_vector, t);
+            self.pit.advance();
+        }
+        while let Some(&Reverse((t, _, idx))) = self.heap.peek() {
+            if Instant(t) > self.now {
+                break;
+            }
+            self.heap.pop();
+            self.fire_env(idx);
+        }
+    }
+
+    fn schedule_env(&mut self, idx: usize, at: Instant) {
+        self.heap_seq += 1;
+        self.heap.push(Reverse((at.0, self.heap_seq, idx)));
+    }
+
+    fn fire_env(&mut self, idx: usize) {
+        let now = self.now;
+        // Apply the action (only when enabled), then reschedule.
+        if self.env[idx].enabled {
+            self.env[idx].fire_count += 1;
+            // Split borrows: temporarily take the action.
+            let mut src = std::mem::replace(
+                &mut self.env[idx],
+                EnvSource::new(
+                    "placeholder",
+                    crate::env::samplers::fixed(Cycles(1)),
+                    EnvAction::AssertInterrupt(VectorId(0)),
+                ),
+            );
+            match &mut src.action {
+                EnvAction::Cli { duration, label } => {
+                    let d = duration(&mut self.rng);
+                    let l = *label;
+                    self.push_cli(d, l);
+                }
+                EnvAction::Section { duration, label } => {
+                    let d = duration(&mut self.rng);
+                    self.pending_sections.push_back((d, *label));
+                }
+                EnvAction::AssertInterrupt(v) => {
+                    self.ic.assert_line(*v, now);
+                }
+                EnvAction::SetEvent(e) => {
+                    let e = *e;
+                    self.env[idx] = src;
+                    self.do_set_event(e);
+                    let gap = self.env[idx].next_gap(&mut self.rng);
+                    self.schedule_env(idx, now + gap);
+                    return;
+                }
+                EnvAction::ReleaseSemaphore(s, n) => {
+                    let (s, n) = (*s, *n);
+                    self.env[idx] = src;
+                    self.do_release_semaphore(s, n);
+                    let gap = self.env[idx].next_gap(&mut self.rng);
+                    self.schedule_env(idx, now + gap);
+                    return;
+                }
+            }
+            self.env[idx] = src;
+        }
+        let gap = self.env[idx].next_gap(&mut self.rng);
+        self.schedule_env(idx, now + gap);
+    }
+
+    /// Pushes an interrupt-disabled window on top of whatever runs.
+    fn push_cli(&mut self, d: Cycles, label: Label) {
+        self.frames.push(Frame {
+            kind: FrameKind::Cli,
+            exec: ExecState::Busy {
+                remaining: d,
+                label,
+            },
+        });
+    }
+
+    /// Advances the clock to `next`, charging cycles to the active busy
+    /// chunk (or idle).
+    fn advance_to(&mut self, next: Instant) {
+        let delta = next - self.now;
+        if delta.is_zero() {
+            self.now = next;
+            return;
+        }
+        // Identify the active busy chunk: top frame or current thread.
+        if let Some(top) = self.frames.last_mut() {
+            if let ExecState::Busy { remaining, label } = &mut top.exec {
+                debug_assert!(*remaining >= delta, "frame busy overrun");
+                *remaining = remaining.saturating_sub(delta);
+                self.current_label = *label;
+                match top.kind {
+                    FrameKind::Isr { .. } => self.account.isr += delta.0,
+                    FrameKind::DpcDrain { .. } => self.account.dpc += delta.0,
+                    FrameKind::Cli => self.account.cli += delta.0,
+                    FrameKind::Section => self.account.section += delta.0,
+                }
+            } else {
+                // A frame awaiting its next step consumes no time; reaching
+                // here means the decision point was external (PIT/env).
+                self.account.idle += delta.0;
+            }
+        } else if let Some(t) = self.current_thread {
+            let tcb = &mut self.threads[t.0];
+            if let ExecState::Busy { remaining, label } = &mut tcb.exec {
+                debug_assert!(*remaining >= delta, "thread busy overrun");
+                *remaining = remaining.saturating_sub(delta);
+                self.current_label = *label;
+                if !tcb.in_overhead {
+                    tcb.quantum_remaining = tcb.quantum_remaining.saturating_sub(delta);
+                }
+                self.account.thread += delta.0;
+            } else {
+                self.account.idle += delta.0;
+            }
+        } else {
+            self.current_label = Label::IDLE;
+            self.account.idle += delta.0;
+        }
+        self.now = next;
+    }
+
+    /// Materializes the next runnable activity, processing completed busy
+    /// chunks, dispatching interrupts, draining DPCs and scheduling threads.
+    ///
+    /// Returns the absolute completion time of the resulting busy chunk, or
+    /// `None` if the CPU is idle.
+    fn ensure_activity(&mut self) -> Option<Instant> {
+        let mut guard = 0u32;
+        loop {
+            guard += 1;
+            assert!(
+                guard < 1_000_000,
+                "ensure_activity livelock: a program is spinning without consuming time"
+            );
+
+            // 1. Interrupt dispatch, highest IRQL first. NMI vectors
+            // pierce cli windows (they ignore the interrupt flag), so their
+            // dispatch check excludes Cli frames from the effective level.
+            {
+                let next = if self.interrupts_enabled() {
+                    self.ic.next_dispatchable(self.effective_irql())
+                } else {
+                    self.ic
+                        .next_nmi_dispatchable(self.effective_irql_ignoring_cli())
+                };
+                if let Some(v) = next {
+                    self.push_isr(v);
+                    continue;
+                }
+            }
+
+            // 2. DPC drain runs at DISPATCH level: it preempts threads AND
+            // non-preemptible sections (which are PASSIVE-level code that
+            // only blocks the *dispatcher*), but never ISRs, Cli windows or
+            // an already-running drain.
+            if !self.dpc_queue.is_empty() && self.effective_irql() < Irql::DISPATCH {
+                self.frames.push(Frame {
+                    kind: FrameKind::DpcDrain { current: None },
+                    exec: ExecState::NeedStep,
+                });
+                continue;
+            }
+
+            // 3. Run the top frame if present.
+            if !self.frames.is_empty() {
+                match self.frame_progress() {
+                    FrameOutcome::Running(end) => return Some(end),
+                    FrameOutcome::Changed => continue,
+                }
+            }
+
+            // 4. Pending non-preemptible sections start at thread level.
+            if self.thread_irql() == Irql::PASSIVE {
+                if let Some((d, l)) = self.pending_sections.pop_front() {
+                    self.frames.push(Frame {
+                        kind: FrameKind::Section,
+                        exec: ExecState::Busy {
+                            remaining: d,
+                            label: l,
+                        },
+                    });
+                    continue;
+                }
+            }
+
+            // 5. Thread scheduling.
+            if self.resched {
+                self.do_dispatch();
+            }
+            let Some(t) = self.current_thread else {
+                if self.ready.is_empty() {
+                    return None; // Idle.
+                }
+                self.resched = true;
+                continue;
+            };
+            match self.thread_progress(t) {
+                ThreadOutcome::Running(end) => return Some(end),
+                ThreadOutcome::Changed => continue,
+            }
+        }
+    }
+
+    fn interrupts_enabled(&self) -> bool {
+        !self
+            .frames
+            .iter()
+            .any(|f| matches!(f.kind, FrameKind::Cli))
+    }
+
+    /// IRQL contributed by the running thread (threads can raise IRQL).
+    fn thread_irql(&self) -> Irql {
+        self.current_thread
+            .map(|t| self.threads[t.0].irql)
+            .unwrap_or(Irql::PASSIVE)
+    }
+
+    /// Effective processor IRQL: the max over active frames and the thread.
+    fn effective_irql(&self) -> Irql {
+        self.effective_irql_inner(true)
+    }
+
+    /// Effective IRQL as a non-maskable interrupt sees it: cli windows do
+    /// not mask NMIs, so Cli frames are transparent.
+    fn effective_irql_ignoring_cli(&self) -> Irql {
+        self.effective_irql_inner(false)
+    }
+
+    fn effective_irql_inner(&self, count_cli: bool) -> Irql {
+        let mut irql = self.thread_irql();
+        for f in &self.frames {
+            let fl = match &f.kind {
+                FrameKind::Isr { vector, .. } => self.ic.vector(*vector).irql,
+                FrameKind::DpcDrain { .. } => Irql::DISPATCH,
+                FrameKind::Cli => {
+                    if count_cli {
+                        Irql::HIGH
+                    } else {
+                        Irql::PASSIVE
+                    }
+                }
+                FrameKind::Section => Irql::PASSIVE,
+            };
+            if fl > irql {
+                irql = fl;
+            }
+        }
+        irql
+    }
+
+    fn push_isr(&mut self, v: VectorId) {
+        let asserted = self.ic.acknowledge(v);
+        let interrupted = self.current_label;
+        let is_pit = v == self.pit_vector;
+        let program = match &mut self.isr_bodies[v.0] {
+            IsrBody::User(p) => p.take(),
+            IsrBody::Pit => None,
+        };
+        let cost = self.config.isr_dispatch_cost;
+        self.frames.push(Frame {
+            kind: FrameKind::Isr {
+                vector: v,
+                asserted,
+                interrupted,
+                program,
+                is_pit,
+                phase: 0,
+            },
+            exec: ExecState::Busy {
+                remaining: cost,
+                label: Label::KERNEL,
+            },
+        });
+    }
+
+    // --------------------------------------------------------------
+    // Frame execution
+    // --------------------------------------------------------------
+
+    fn frame_progress(&mut self) -> FrameOutcome {
+        let top = self.frames.last_mut().expect("frame_progress needs a frame");
+        // A busy chunk still running?
+        if let ExecState::Busy { remaining, .. } = top.exec {
+            if !remaining.is_zero() {
+                return FrameOutcome::Running(self.now + remaining);
+            }
+        }
+        // Busy complete (or NeedStep): advance the frame's state machine.
+        match &mut top.kind {
+            FrameKind::Cli | FrameKind::Section => {
+                // Single busy chunk; done.
+                self.frames.pop();
+                FrameOutcome::Changed
+            }
+            FrameKind::Isr { .. } => self.isr_progress(),
+            FrameKind::DpcDrain { .. } => self.dpc_progress(),
+        }
+    }
+
+    fn isr_progress(&mut self) -> FrameOutcome {
+        // Work out the transition without holding the frame borrow across
+        // kernel calls.
+        let idx = self.frames.len() - 1;
+        let (vector, asserted, interrupted, is_pit, phase) = {
+            let Frame {
+                kind:
+                    FrameKind::Isr {
+                        vector,
+                        asserted,
+                        interrupted,
+                        is_pit,
+                        phase,
+                        ..
+                    },
+                ..
+            } = &self.frames[idx]
+            else {
+                unreachable!("isr_progress on a non-ISR frame")
+            };
+            (*vector, *asserted, *interrupted, *is_pit, *phase)
+        };
+        match phase {
+            0 => {
+                // Entry overhead done: the ISR's first instruction runs now.
+                let e = IsrEnter {
+                    vector,
+                    asserted,
+                    started: self.now,
+                    interrupted_label: interrupted,
+                };
+                self.notify(|o, k| o.on_isr_enter(k), &e);
+                if is_pit {
+                    // The clock ISR body: fixed cost plus per-due-timer work.
+                    let due = self.due_timer_count();
+                    let body = Cycles(
+                        self.config.pit_isr_cost.0
+                            + self.config.timer_expiry_cost.0 * due as u64,
+                    );
+                    let label = self.pit_label;
+                    let f = &mut self.frames[idx];
+                    set_isr_phase(f, 1);
+                    f.exec = ExecState::Busy {
+                        remaining: body,
+                        label,
+                    };
+                } else {
+                    let f = &mut self.frames[idx];
+                    set_isr_phase(f, 1);
+                    f.exec = ExecState::NeedStep;
+                    self.begin_frame_program(idx);
+                }
+                FrameOutcome::Changed
+            }
+            1 => {
+                if is_pit {
+                    // Clock ISR body done: fire timers and timed waits, then
+                    // pay the exit overhead.
+                    self.clock_tick_work();
+                    let cost = self.config.isr_exit_cost;
+                    let f = &mut self.frames[idx];
+                    set_isr_phase(f, 2);
+                    f.exec = ExecState::Busy {
+                        remaining: cost,
+                        label: Label::KERNEL,
+                    };
+                    FrameOutcome::Changed
+                } else {
+                    // User ISR: pull steps until busy or return.
+                    self.run_frame_steps(idx)
+                }
+            }
+            _ => {
+                // Exit overhead done: retire the frame, returning the ISR
+                // program to its vector for the next interrupt.
+                let f = self.frames.pop().expect("ISR frame vanished");
+                if let FrameKind::Isr {
+                    vector,
+                    program: Some(p),
+                    ..
+                } = f.kind
+                {
+                    if let IsrBody::User(slot) = &mut self.isr_bodies[vector.0] {
+                        *slot = Some(p);
+                    }
+                }
+                FrameOutcome::Changed
+            }
+        }
+    }
+
+    fn dpc_progress(&mut self) -> FrameOutcome {
+        let idx = self.frames.len() - 1;
+        // Is a DPC currently active in this drain?
+        let has_current = {
+            let Frame {
+                kind: FrameKind::DpcDrain { current },
+                ..
+            } = &self.frames[idx]
+            else {
+                unreachable!("dpc_progress on a non-DPC frame")
+            };
+            current.is_some()
+        };
+        if !has_current {
+            match self.dpc_queue.pop() {
+                None => {
+                    self.frames.pop();
+                    FrameOutcome::Changed
+                }
+                Some(entry) => {
+                    let program = self.dpcs[entry.dpc.0].program.take();
+                    let cost = self.config.dpc_dispatch_cost;
+                    let f = &mut self.frames[idx];
+                    let FrameKind::DpcDrain { current } = &mut f.kind else {
+                        unreachable!()
+                    };
+                    *current = Some(CurrentDpc {
+                        dpc: entry.dpc,
+                        program,
+                        queued: entry.queued_at,
+                        started: false,
+                    });
+                    f.exec = ExecState::Busy {
+                        remaining: cost,
+                        label: Label::KERNEL,
+                    };
+                    FrameOutcome::Changed
+                }
+            }
+        } else {
+            // Dispatch overhead or body step finished.
+            let (dpc, queued, started) = {
+                let Frame {
+                    kind: FrameKind::DpcDrain { current: Some(c) },
+                    ..
+                } = &self.frames[idx]
+                else {
+                    unreachable!()
+                };
+                (c.dpc, c.queued, c.started)
+            };
+            if !started {
+                let e = DpcStart {
+                    dpc,
+                    queued,
+                    started: self.now,
+                };
+                self.notify(|o, k| o.on_dpc_start(k), &e);
+                self.dpcs[dpc.0].run_count += 1;
+                {
+                    let Frame {
+                        kind: FrameKind::DpcDrain { current: Some(c) },
+                        exec,
+                    } = &mut self.frames[idx]
+                    else {
+                        unreachable!()
+                    };
+                    c.started = true;
+                    *exec = ExecState::NeedStep;
+                }
+                self.begin_frame_program(idx);
+                FrameOutcome::Changed
+            } else {
+                self.run_frame_steps(idx)
+            }
+        }
+    }
+
+    /// Calls `begin` on the program owned by frame `idx` (if any).
+    fn begin_frame_program(&mut self, idx: usize) {
+        let mut program = self.take_frame_program(idx);
+        if let Some(p) = program.as_mut() {
+            let mut ctx = StepCtx {
+                now: self.now,
+                board: &mut self.board,
+                rng: &mut self.rng,
+                last_wait_timed_out: false,
+                last_wait_index: 0,
+            };
+            p.begin(&mut ctx);
+        }
+        self.put_frame_program(idx, program);
+    }
+
+    fn take_frame_program(&mut self, idx: usize) -> Option<Box<dyn Program>> {
+        match &mut self.frames[idx].kind {
+            FrameKind::Isr { program, .. } => program.take(),
+            FrameKind::DpcDrain {
+                current: Some(c), ..
+            } => c.program.take(),
+            _ => None,
+        }
+    }
+
+    fn put_frame_program(&mut self, idx: usize, program: Option<Box<dyn Program>>) {
+        match &mut self.frames[idx].kind {
+            FrameKind::Isr { program: p, .. } => *p = program,
+            FrameKind::DpcDrain {
+                current: Some(c), ..
+            } => c.program = program,
+            _ => {}
+        }
+    }
+
+    /// Pulls steps from the frame's program until a busy chunk or return.
+    fn run_frame_steps(&mut self, idx: usize) -> FrameOutcome {
+        let mut program = self.take_frame_program(idx);
+        let Some(p) = program.as_mut() else {
+            // No program (should not happen for user frames): retire.
+            self.retire_frame_body(idx);
+            return FrameOutcome::Changed;
+        };
+        let mut guard = 0u32;
+        loop {
+            guard += 1;
+            assert!(guard < 100_000, "ISR/DPC program spinning without time");
+            let mut ctx = StepCtx {
+                now: self.now,
+                board: &mut self.board,
+                rng: &mut self.rng,
+                last_wait_timed_out: false,
+                last_wait_index: 0,
+            };
+            let step = p.step(&mut ctx);
+            match step {
+                Step::Busy { cycles, label } => {
+                    self.frames[idx].exec = ExecState::Busy {
+                        remaining: cycles,
+                        label,
+                    };
+                    self.put_frame_program(idx, program);
+                    return FrameOutcome::Changed;
+                }
+                Step::BusyCli { cycles, label } => {
+                    // Model as a nested interrupt-disabled window.
+                    self.frames[idx].exec = ExecState::NeedStep;
+                    self.put_frame_program(idx, program);
+                    self.push_cli(cycles, label);
+                    return FrameOutcome::Changed;
+                }
+                Step::Return => {
+                    self.put_frame_program(idx, program);
+                    self.retire_frame_body(idx);
+                    return FrameOutcome::Changed;
+                }
+                Step::Wait(_) | Step::WaitTimeout(..) | Step::WaitAny(_) | Step::Sleep(_) => {
+                    panic!("blocking step in ISR/DPC context (IRQL >= DISPATCH)")
+                }
+                Step::ReleaseMutex(_) => {
+                    panic!("mutex release in ISR/DPC context (IRQL >= DISPATCH)")
+                }
+                Step::SetPriority(_)
+                | Step::RaiseIrql(_)
+                | Step::LowerIrql
+                | Step::Yield
+                | Step::Exit => {
+                    panic!("thread-only step in ISR/DPC context")
+                }
+                other => self.apply_service_step(other),
+            }
+        }
+    }
+
+    /// Ends the body of the frame at `idx` after its program returned.
+    fn retire_frame_body(&mut self, idx: usize) {
+        match &mut self.frames[idx].kind {
+            FrameKind::Isr { phase, .. } => {
+                *phase = 2;
+                self.frames[idx].exec = ExecState::Busy {
+                    remaining: self.config.isr_exit_cost,
+                    label: Label::KERNEL,
+                };
+            }
+            FrameKind::DpcDrain { current } => {
+                // Return the program to the DPC object and move to the next.
+                if let Some(c) = current.take() {
+                    self.dpcs[c.dpc.0].program = c.program;
+                }
+                self.frames[idx].exec = ExecState::NeedStep;
+            }
+            _ => {
+                self.frames.pop();
+            }
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Thread execution
+    // --------------------------------------------------------------
+
+    fn thread_progress(&mut self, t: ThreadId) -> ThreadOutcome {
+        // Charge pending dispatch/switch overhead first, stashing any
+        // interrupted program busy chunk.
+        {
+            let tcb = &mut self.threads[t.0];
+            if !tcb.pending_overhead.is_zero() {
+                let d = tcb.pending_overhead;
+                tcb.pending_overhead = Cycles::ZERO;
+                tcb.in_overhead = true;
+                tcb.saved_exec = Some(tcb.exec);
+                tcb.exec = ExecState::Busy {
+                    remaining: d,
+                    label: Label::KERNEL,
+                };
+            }
+        }
+        match self.threads[t.0].exec {
+            ExecState::Busy { remaining, .. } if !remaining.is_zero() => {
+                // Overhead does not count against the quantum; program work
+                // does, and an exhausted quantum preempts mid-chunk.
+                if !self.threads[t.0].in_overhead && self.maybe_expire_quantum(t) {
+                    return ThreadOutcome::Changed;
+                }
+                ThreadOutcome::Running(self.now + remaining)
+            }
+            ExecState::Busy { .. } => {
+                // Chunk complete.
+                let tcb = &mut self.threads[t.0];
+                if tcb.in_overhead {
+                    tcb.in_overhead = false;
+                    tcb.exec = tcb.saved_exec.take().unwrap_or(ExecState::NeedStep);
+                    // Dispatch complete: if the thread was readied from a
+                    // wait, its first post-wait instruction runs now.
+                    if let Some(readied) = tcb.readied_at.take() {
+                        let e = ThreadResume {
+                            thread: t,
+                            priority: self.threads[t.0].priority,
+                            readied,
+                            started: self.now,
+                        };
+                        self.notify(|o, k| o.on_thread_resume(k), &e);
+                    }
+                } else {
+                    tcb.exec = ExecState::NeedStep;
+                }
+                // Quantum check at chunk boundaries.
+                self.maybe_expire_quantum(t);
+                ThreadOutcome::Changed
+            }
+            ExecState::NeedStep => {
+                if self.maybe_expire_quantum(t) {
+                    return ThreadOutcome::Changed;
+                }
+                self.run_thread_steps(t)
+            }
+        }
+    }
+
+    /// Handles quantum exhaustion: round-robin to a same-priority peer.
+    /// Returns true if the thread was descheduled.
+    fn maybe_expire_quantum(&mut self, t: ThreadId) -> bool {
+        let tcb = &self.threads[t.0];
+        if !tcb.quantum_remaining.is_zero() {
+            return false;
+        }
+        let priority = tcb.priority;
+        if self.ready.len_at(priority) > 0 || self.ready.highest_priority() > Some(priority) {
+            let tcb = &mut self.threads[t.0];
+            tcb.state = ThreadState::Ready;
+            tcb.quantum_remaining = self.config.quantum;
+            // Wakeup boosts decay one level per expired quantum.
+            if tcb.priority > tcb.base_priority {
+                tcb.priority -= 1;
+            }
+            let priority = tcb.priority;
+            self.ready.push_back(t, priority);
+            self.current_thread = None;
+            self.resched = true;
+            true
+        } else {
+            // No competition: refresh the quantum in place, decaying any
+            // boost.
+            let tcb = &mut self.threads[t.0];
+            tcb.quantum_remaining = self.config.quantum;
+            if tcb.priority > tcb.base_priority {
+                tcb.priority -= 1;
+            }
+            false
+        }
+    }
+
+    fn run_thread_steps(&mut self, t: ThreadId) -> ThreadOutcome {
+        let mut guard = 0u32;
+        loop {
+            guard += 1;
+            assert!(guard < 100_000, "thread program spinning without time");
+            // Deliver `begin` once.
+            if !self.threads[t.0].started {
+                self.threads[t.0].started = true;
+                let mut program = self.threads[t.0].program.take();
+                if let Some(p) = program.as_mut() {
+                    let mut ctx = StepCtx {
+                        now: self.now,
+                        board: &mut self.board,
+                        rng: &mut self.rng,
+                        last_wait_timed_out: false,
+                        last_wait_index: 0,
+                    };
+                    p.begin(&mut ctx);
+                }
+                self.threads[t.0].program = program;
+            }
+            // Deliver pending APCs at PASSIVE level, one at a time, before
+            // the thread's own program resumes.
+            if self.threads[t.0].active_apc.is_none()
+                && self.threads[t.0].irql == Irql::PASSIVE
+                && !self.threads[t.0].apcs.is_empty()
+            {
+                let apc = self.threads[t.0].apcs.pop_front().expect("non-empty");
+                if let Some(mut prog) = self.apc_routines[apc.0].take() {
+                    let mut ctx = StepCtx {
+                        now: self.now,
+                        board: &mut self.board,
+                        rng: &mut self.rng,
+                        last_wait_timed_out: false,
+                        last_wait_index: 0,
+                    };
+                    prog.begin(&mut ctx);
+                    self.threads[t.0].active_apc = Some((apc, prog));
+                }
+            }
+            let in_apc = self.threads[t.0].active_apc.is_some();
+            let step = if in_apc {
+                let (apc, mut p) = self.threads[t.0].active_apc.take().expect("checked");
+                let step = {
+                    let mut ctx = StepCtx {
+                        now: self.now,
+                        board: &mut self.board,
+                        rng: &mut self.rng,
+                        last_wait_timed_out: false,
+                        last_wait_index: 0,
+                    };
+                    p.step(&mut ctx)
+                };
+                self.threads[t.0].active_apc = Some((apc, p));
+                step
+            } else {
+                let mut program = self.threads[t.0].program.take();
+                let Some(p) = program.as_mut() else {
+                    // Program missing: treat as exited.
+                    self.exit_thread(t);
+                    return ThreadOutcome::Changed;
+                };
+                let step = {
+                    let mut ctx = StepCtx {
+                        now: self.now,
+                        board: &mut self.board,
+                        rng: &mut self.rng,
+                        last_wait_timed_out: self.threads[t.0].last_wait_timed_out,
+                        last_wait_index: self.threads[t.0].last_wait_index,
+                    };
+                    p.step(&mut ctx)
+                };
+                self.threads[t.0].program = program;
+                step
+            };
+            if in_apc {
+                match step {
+                    Step::Return => {
+                        // APC routine finished: return it to the table.
+                        let (apc, p) =
+                            self.threads[t.0].active_apc.take().expect("active");
+                        self.apc_routines[apc.0] = Some(p);
+                        continue;
+                    }
+                    Step::Wait(_)
+                    | Step::WaitTimeout(..)
+                    | Step::WaitAny(_)
+                    | Step::Sleep(_)
+                    | Step::Exit => {
+                        panic!("blocking/exit step inside an APC routine")
+                    }
+                    _ => {}
+                }
+            }
+            match step {
+                Step::Busy { cycles, label } => {
+                    self.threads[t.0].exec = ExecState::Busy {
+                        remaining: cycles,
+                        label,
+                    };
+                    return ThreadOutcome::Running(self.now + cycles);
+                }
+                Step::BusyCli { cycles, label } => {
+                    self.push_cli(cycles, label);
+                    return ThreadOutcome::Changed;
+                }
+                Step::Wait(obj) => {
+                    if self.try_acquire(obj, t) {
+                        self.threads[t.0].waits_satisfied += 1;
+                        self.threads[t.0].last_wait_timed_out = false;
+                        return self.charge_service(t);
+                    }
+                    self.block_thread(t, Some(obj), None);
+                    return ThreadOutcome::Changed;
+                }
+                Step::WaitTimeout(obj, d) => {
+                    if self.try_acquire(obj, t) {
+                        self.threads[t.0].waits_satisfied += 1;
+                        self.threads[t.0].last_wait_timed_out = false;
+                        return self.charge_service(t);
+                    }
+                    let deadline = self.now + d;
+                    self.block_thread(t, Some(obj), Some(deadline));
+                    return ThreadOutcome::Changed;
+                }
+                Step::WaitAny(set) => {
+                    // Try each member in order without blocking.
+                    let objects = self.wait_sets[set.0].clone();
+                    let mut satisfied = None;
+                    for (i, obj) in objects.iter().enumerate() {
+                        if self.try_acquire(*obj, t) {
+                            satisfied = Some(i);
+                            break;
+                        }
+                    }
+                    if let Some(i) = satisfied {
+                        let tcb = &mut self.threads[t.0];
+                        tcb.waits_satisfied += 1;
+                        tcb.last_wait_timed_out = false;
+                        tcb.last_wait_index = i;
+                        return self.charge_service(t);
+                    }
+                    self.block_thread_any(t, set);
+                    return ThreadOutcome::Changed;
+                }
+                Step::ReleaseMutex(m) => {
+                    self.do_release_mutex(m, t);
+                    return self.charge_service(t);
+                }
+                Step::Sleep(d) => {
+                    let deadline = self.now + d;
+                    self.block_thread(t, None, Some(deadline));
+                    return ThreadOutcome::Changed;
+                }
+                Step::SetPriority(p_new) => {
+                    assert!((1..=31).contains(&p_new), "priority out of range");
+                    self.threads[t.0].priority = p_new;
+                    self.threads[t.0].base_priority = p_new;
+                    // A lowered priority may let a ready thread preempt.
+                    if self.ready.highest_priority() > Some(p_new) {
+                        self.resched = true;
+                    }
+                    return self.charge_service(t);
+                }
+                Step::RaiseIrql(irql) => {
+                    assert!(
+                        irql > self.threads[t.0].irql,
+                        "KeRaiseIrql must raise the IRQL"
+                    );
+                    self.threads[t.0].irql = irql;
+                    return self.charge_service(t);
+                }
+                Step::LowerIrql => {
+                    self.threads[t.0].irql = Irql::PASSIVE;
+                    // DPCs blocked while raised may now drain, and any
+                    // dispatch deferred by the raised IRQL must be retried.
+                    self.resched = true;
+                    return self.charge_service(t);
+                }
+                Step::Yield => {
+                    let priority = self.threads[t.0].priority;
+                    if self.ready.len_at(priority) > 0
+                        || self.ready.highest_priority() > Some(priority)
+                    {
+                        let tcb = &mut self.threads[t.0];
+                        tcb.state = ThreadState::Ready;
+                        tcb.quantum_remaining = self.config.quantum;
+                        self.ready.push_back(t, priority);
+                        self.current_thread = None;
+                        self.resched = true;
+                        return ThreadOutcome::Changed;
+                    }
+                    // Nobody to yield to; refresh quantum and continue.
+                    self.threads[t.0].quantum_remaining = self.config.quantum;
+                    return self.charge_service(t);
+                }
+                Step::Exit => {
+                    self.exit_thread(t);
+                    return ThreadOutcome::Changed;
+                }
+                Step::Return => {
+                    // Block forever: returned from a thread function without
+                    // Exit. Park the thread.
+                    self.block_thread(t, None, None);
+                    return ThreadOutcome::Changed;
+                }
+                other => {
+                    self.apply_service_step(other);
+                    return self.charge_service(t);
+                }
+            }
+        }
+    }
+
+    /// Charges the per-call kernel service cost to the running thread and
+    /// yields back to the main loop. Guarantees forward progress for
+    /// programs made of instantaneous kernel calls.
+    fn charge_service(&mut self, t: ThreadId) -> ThreadOutcome {
+        self.threads[t.0].exec = ExecState::Busy {
+            remaining: self.config.service_call_cost,
+            label: Label::KERNEL,
+        };
+        ThreadOutcome::Changed
+    }
+
+    fn exit_thread(&mut self, t: ThreadId) {
+        let tcb = &mut self.threads[t.0];
+        tcb.state = ThreadState::Terminated;
+        tcb.program = None;
+        self.current_thread = None;
+        self.resched = true;
+    }
+
+    fn block_thread(&mut self, t: ThreadId, obj: Option<WaitObject>, deadline: Option<Instant>) {
+        {
+            let tcb = &mut self.threads[t.0];
+            assert_eq!(
+                tcb.irql,
+                Irql::PASSIVE,
+                "thread blocked at raised IRQL"
+            );
+            tcb.state = ThreadState::Waiting;
+            tcb.wait = obj;
+            tcb.wait_deadline = deadline;
+        }
+        if let Some(obj) = obj {
+            self.enqueue_waiter(obj, t);
+        }
+        self.current_thread = None;
+        self.resched = true;
+    }
+
+    fn enqueue_waiter(&mut self, obj: WaitObject, t: ThreadId) {
+        match obj {
+            WaitObject::Event(e) => self.events[e.0].enqueue_waiter(t),
+            WaitObject::Semaphore(s) => self.sems[s.0].enqueue_waiter(t),
+            WaitObject::Timer(tm) => self.timers[tm.0].waiters.push_back(t),
+            WaitObject::Mutex(m) => self.mutexes[m.0].enqueue_waiter(t),
+        }
+    }
+
+    fn dequeue_waiter(&mut self, obj: WaitObject, t: ThreadId) {
+        match obj {
+            WaitObject::Event(e) => self.events[e.0].remove_waiter(t),
+            WaitObject::Semaphore(s) => self.sems[s.0].remove_waiter(t),
+            WaitObject::Timer(tm) => self.timers[tm.0].waiters.retain(|&w| w != t),
+            WaitObject::Mutex(m) => self.mutexes[m.0].remove_waiter(t),
+        }
+    }
+
+    /// Blocks the current thread on a WaitAny set.
+    fn block_thread_any(&mut self, t: ThreadId, set: WaitSetId) {
+        {
+            let tcb = &mut self.threads[t.0];
+            assert_eq!(tcb.irql, Irql::PASSIVE, "thread blocked at raised IRQL");
+            tcb.state = ThreadState::Waiting;
+            tcb.wait = None;
+            tcb.wait_set = Some(set);
+            tcb.wait_deadline = None;
+        }
+        let objects = self.wait_sets[set.0].clone();
+        for obj in objects {
+            self.enqueue_waiter(obj, t);
+        }
+        self.current_thread = None;
+        self.resched = true;
+    }
+
+    fn try_acquire(&mut self, obj: WaitObject, t: ThreadId) -> bool {
+        match obj {
+            WaitObject::Event(e) => self.events[e.0].try_acquire(),
+            WaitObject::Semaphore(s) => self.sems[s.0].try_acquire(),
+            WaitObject::Timer(tm) => self.timers[tm.0].signaled,
+            WaitObject::Mutex(m) => self.mutexes[m.0].try_acquire(t),
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Kernel services shared by all contexts
+    // --------------------------------------------------------------
+
+    fn apply_service_step(&mut self, step: Step) {
+        match step {
+            Step::ReadTsc(slot) => {
+                let now = self.now.0;
+                self.board.write(slot, now);
+            }
+            Step::WriteSlot(slot, v) => self.board.write(slot, v),
+            Step::QueueDpc(d) => {
+                let importance = self.dpcs[d.0].importance;
+                let now = self.now;
+                self.dpc_queue.insert(d, importance, now);
+            }
+            Step::SetEvent(e) => self.do_set_event(e),
+            Step::QueueApc(thread, apc) => {
+                let tcb = &mut self.threads[thread.0];
+                if tcb.state != ThreadState::Terminated && !tcb.apcs.contains(&apc) {
+                    tcb.apcs.push_back(apc);
+                }
+            }
+            Step::ResetEvent(e) => self.events[e.0].reset(),
+            Step::ReleaseSemaphore(s, n) => self.do_release_semaphore(s, n),
+            Step::SetTimer { timer, due, period } => {
+                let now = self.now;
+                self.timers[timer.0].set(now, due, period);
+            }
+            Step::CancelTimer(t) => {
+                self.timers[t.0].cancel();
+            }
+            Step::CompleteIrp(irp) => {
+                let now = self.now;
+                self.irps[irp.0].complete(now);
+                if let Some(e) = self.irps[irp.0].completion_event {
+                    self.do_set_event(e);
+                }
+                let obs = self.observers.clone();
+                for o in obs {
+                    o.borrow_mut().on_irp_complete(irp, &self.board, now);
+                }
+            }
+            other => unreachable!("apply_service_step got {other:?}"),
+        }
+    }
+
+    fn do_set_event(&mut self, e: EventId) {
+        let released = self.events[e.0].set();
+        for t in released {
+            self.ready_thread_from(t, Some(WaitObject::Event(e)));
+        }
+    }
+
+    fn do_release_semaphore(&mut self, s: SemId, n: u32) {
+        let released = self.sems[s.0].release(n);
+        for t in released {
+            self.ready_thread_from(t, Some(WaitObject::Semaphore(s)));
+        }
+    }
+
+    fn do_release_mutex(&mut self, m: MutexId, owner: ThreadId) {
+        if let Some(next) = self.mutexes[m.0].release(owner) {
+            // Handoff: the waiter wakes already owning the mutex.
+            self.ready_thread_from(next, Some(WaitObject::Mutex(m)));
+        }
+    }
+
+    /// Makes a waiting thread ready and requests a dispatch if it outranks
+    /// the running thread. `waker` names the object whose signal satisfied
+    /// the wait, if any (None for timeouts and timer-grid wakes).
+    fn ready_thread(&mut self, t: ThreadId) {
+        self.ready_thread_from(t, None)
+    }
+
+    fn ready_thread_from(&mut self, t: ThreadId, waker: Option<WaitObject>) {
+        let now = self.now;
+        // A WaitAny sleeper is enqueued on every set member: unlink from
+        // the ones that did not fire and record the satisfying index.
+        if let Some(set) = self.threads[t.0].wait_set.take() {
+            let objects = self.wait_sets[set.0].clone();
+            let index = waker
+                .and_then(|w| objects.iter().position(|&o| o == w))
+                .unwrap_or(0);
+            self.threads[t.0].last_wait_index = index;
+            for (i, obj) in objects.into_iter().enumerate() {
+                if waker.map(|_| i) != Some(index) || waker.is_none() {
+                    self.dequeue_waiter(obj, t);
+                }
+            }
+        }
+        let boost = self.config.dynamic_boost;
+        let tcb = &mut self.threads[t.0];
+        debug_assert_eq!(tcb.state, ThreadState::Waiting, "readying a non-waiting thread");
+        tcb.state = ThreadState::Ready;
+        tcb.wait = None;
+        tcb.wait_deadline = None;
+        tcb.last_wait_timed_out = false;
+        tcb.readied_at = Some(now);
+        tcb.waits_satisfied += 1;
+        // NT dispatcher: dynamic-band threads get a wakeup boost; the
+        // real-time band never does.
+        if boost > 0 && tcb.base_priority < crate::thread::RT_BAND_START {
+            tcb.priority = (tcb.base_priority + boost).min(15).max(tcb.priority);
+        }
+        let priority = tcb.priority;
+        self.ready.push_back(t, priority);
+        let current_priority = self
+            .current_thread
+            .map(|c| self.threads[c.0].priority);
+        if current_priority.is_none() || Some(priority) > current_priority {
+            self.resched = true;
+        }
+    }
+
+    /// Scheduler decision at thread level.
+    fn do_dispatch(&mut self) {
+        self.resched = false;
+        // A thread at raised IRQL cannot be preempted by the dispatcher.
+        if let Some(c) = self.current_thread {
+            if self.threads[c.0].irql >= Irql::DISPATCH {
+                return;
+            }
+        }
+        let highest = self.ready.highest_priority();
+        match (self.current_thread, highest) {
+            (_, None) => {}
+            (Some(c), Some(h)) => {
+                let cp = self.threads[c.0].priority;
+                if h > cp {
+                    // Preempt: the current thread keeps its turn (head) and
+                    // its remaining quantum.
+                    let tcb = &mut self.threads[c.0];
+                    tcb.state = ThreadState::Ready;
+                    self.ready.push_front(c, cp);
+                    self.switch_in(Some(c));
+                }
+            }
+            (None, Some(_)) => self.switch_in(None),
+        }
+    }
+
+    /// Pops the best ready thread and switches to it.
+    fn switch_in(&mut self, from: Option<ThreadId>) {
+        let next = self
+            .ready
+            .pop_highest()
+            .expect("switch_in with empty ready queues");
+        let now = self.now;
+        {
+            let tcb = &mut self.threads[next.0];
+            tcb.state = ThreadState::Running;
+            tcb.dispatch_count += 1;
+            if tcb.quantum_remaining.is_zero() {
+                tcb.quantum_remaining = self.config.quantum;
+            }
+            let mut overhead = self.config.dispatch_cost;
+            if from != Some(next) {
+                overhead += self.config.context_switch_cost;
+            }
+            tcb.pending_overhead = overhead;
+        }
+        self.current_thread = Some(next);
+        self.context_switches += 1;
+        let obs = self.observers.clone();
+        for o in obs {
+            o.borrow_mut().on_context_switch(from, next, now);
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Clock tick work (runs in the PIT ISR body)
+    // --------------------------------------------------------------
+
+    fn due_timer_count(&self) -> usize {
+        let now = self.now;
+        self.timers.iter().filter(|t| t.is_due(now)).count()
+    }
+
+    /// Fires due timers (queueing their DPCs, waking waiters) and expires
+    /// timed waits. Runs at the end of the clock ISR body.
+    fn clock_tick_work(&mut self) {
+        let now = self.now;
+        // Timers.
+        for i in 0..self.timers.len() {
+            if !self.timers[i].is_due(now) {
+                continue;
+            }
+            let dpc = self.timers[i].fire(now);
+            if let Some(d) = dpc {
+                let importance = self.dpcs[d.0].importance;
+                self.dpc_queue.insert(d, importance, now);
+            }
+            // Wake timer waiters (notification semantics).
+            let waiters: Vec<ThreadId> = self.timers[i].waiters.drain(..).collect();
+            for t in waiters {
+                self.ready_thread(t);
+            }
+        }
+        // Timed waits and sleeps.
+        for i in 0..self.threads.len() {
+            let expired = {
+                let tcb = &self.threads[i];
+                tcb.state == ThreadState::Waiting
+                    && matches!(tcb.wait_deadline, Some(d) if d <= now)
+            };
+            if !expired {
+                continue;
+            }
+            let t = ThreadId(i);
+            // Unlink from whatever it was waiting on; WaitAny sets are
+            // unlinked inside ready_thread_from.
+            if let Some(obj) = self.threads[i].wait {
+                self.dequeue_waiter(obj, t);
+            }
+            let was_timed_wait =
+                self.threads[i].wait.is_some() || self.threads[i].wait_set.is_some();
+            self.ready_thread(t);
+            // `ready_thread` clears the timeout flag; re-mark it.
+            self.threads[i].last_wait_timed_out = was_timed_wait;
+            if was_timed_wait {
+                self.wait_timeouts += 1;
+                // A timed-out wait did not consume a signal.
+                self.threads[i].waits_satisfied -= 1;
+            }
+        }
+    }
+
+    fn notify<E, F: Fn(&mut dyn Observer, &E)>(&mut self, f: F, e: &E) {
+        let obs = self.observers.clone();
+        for o in obs {
+            f(&mut *o.borrow_mut(), e);
+        }
+    }
+}
+
+fn set_isr_phase(f: &mut Frame, phase: u8) {
+    if let FrameKind::Isr { phase: p, .. } = &mut f.kind {
+        *p = phase;
+    }
+}
+
+enum FrameOutcome {
+    /// The frame is running a busy chunk that ends at the given time.
+    Running(Instant),
+    /// The frame state changed; re-evaluate the stack.
+    Changed,
+}
+
+enum ThreadOutcome {
+    Running(Instant),
+    Changed,
+}
+
+impl core::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("now", &self.now)
+            .field("threads", &self.threads.len())
+            .field("frames", &self.frames.len())
+            .field("dpc_queue", &self.dpc_queue.len())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,372 @@
+//! Dispatcher objects: events and semaphores.
+//!
+//! WDM threads block on *dispatcher objects*. The paper's measurement
+//! drivers use a **synchronization event** — an event that auto-clears after
+//! satisfying a single wait (§2.2 glossary) — which is what makes the
+//! DPC → thread handoff a clean one-shot signal. Notification events (which
+//! satisfy all waiters and stay signaled, like Unix kernel events) and
+//! counted semaphores are also provided.
+
+use std::collections::VecDeque;
+
+use crate::ids::ThreadId;
+
+/// Event flavor (see `KeInitializeEvent`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Auto-clearing: satisfying one wait resets the event.
+    Synchronization,
+    /// Manual-reset: stays signaled until explicitly reset; satisfies all
+    /// outstanding waits.
+    Notification,
+}
+
+/// A kernel event object.
+#[derive(Debug)]
+pub struct KEvent {
+    /// Flavor of the event.
+    pub kind: EventKind,
+    /// Whether the event is currently signaled.
+    pub signaled: bool,
+    /// Threads blocked on the event, FIFO.
+    pub waiters: VecDeque<ThreadId>,
+}
+
+impl KEvent {
+    /// Creates an event with the given flavor and initial state.
+    pub fn new(kind: EventKind, signaled: bool) -> KEvent {
+        KEvent {
+            kind,
+            signaled,
+            waiters: VecDeque::new(),
+        }
+    }
+
+    /// Signals the event, returning the threads released by the signal.
+    ///
+    /// A synchronization event releases at most one waiter (and stays
+    /// non-signaled if it released one); a notification event releases all
+    /// waiters and remains signaled.
+    pub fn set(&mut self) -> Vec<ThreadId> {
+        match self.kind {
+            EventKind::Synchronization => {
+                if let Some(t) = self.waiters.pop_front() {
+                    self.signaled = false;
+                    vec![t]
+                } else {
+                    self.signaled = true;
+                    Vec::new()
+                }
+            }
+            EventKind::Notification => {
+                self.signaled = true;
+                self.waiters.drain(..).collect()
+            }
+        }
+    }
+
+    /// Resets the event to non-signaled.
+    pub fn reset(&mut self) {
+        self.signaled = false;
+    }
+
+    /// Attempts to satisfy a wait immediately, without blocking.
+    ///
+    /// Returns `true` if the wait is satisfied (consuming the signal for a
+    /// synchronization event).
+    pub fn try_acquire(&mut self) -> bool {
+        if !self.signaled {
+            return false;
+        }
+        if self.kind == EventKind::Synchronization {
+            self.signaled = false;
+        }
+        true
+    }
+
+    /// Enqueues a thread to wait on the event.
+    pub fn enqueue_waiter(&mut self, t: ThreadId) {
+        self.waiters.push_back(t);
+    }
+
+    /// Removes a thread from the wait queue (wait timeout or termination).
+    pub fn remove_waiter(&mut self, t: ThreadId) {
+        self.waiters.retain(|&w| w != t);
+    }
+}
+
+/// A kernel mutex object (`KMUTEX`).
+///
+/// Ownership-tracking, recursively acquirable by its owner. NT kernel
+/// mutexes do **not** implement priority inheritance — a low-priority owner
+/// can stall a high-priority waiter, one of the latency hazards the paper's
+/// methodology surfaces.
+#[derive(Debug)]
+pub struct KMutex {
+    /// Current owner, if held.
+    pub owner: Option<ThreadId>,
+    /// Recursive acquisition depth (0 when free).
+    pub recursion: u32,
+    /// Threads blocked on the mutex, FIFO.
+    pub waiters: VecDeque<ThreadId>,
+}
+
+impl KMutex {
+    /// Creates a free mutex.
+    pub fn new() -> KMutex {
+        KMutex {
+            owner: None,
+            recursion: 0,
+            waiters: VecDeque::new(),
+        }
+    }
+
+    /// Attempts to acquire for `t` without blocking. Recursive acquisition
+    /// by the owner succeeds.
+    pub fn try_acquire(&mut self, t: ThreadId) -> bool {
+        match self.owner {
+            None => {
+                self.owner = Some(t);
+                self.recursion = 1;
+                true
+            }
+            Some(o) if o == t => {
+                self.recursion += 1;
+                true
+            }
+            Some(_) => false,
+        }
+    }
+
+    /// Releases one level of ownership by `t`. Returns the thread that
+    /// inherits ownership, if the mutex was handed off to a waiter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` does not own the mutex (releasing an unowned mutex is
+    /// a bugcheck on NT).
+    pub fn release(&mut self, t: ThreadId) -> Option<ThreadId> {
+        assert_eq!(self.owner, Some(t), "mutex released by non-owner");
+        assert!(self.recursion > 0);
+        self.recursion -= 1;
+        if self.recursion > 0 {
+            return None;
+        }
+        match self.waiters.pop_front() {
+            Some(next) => {
+                // Hand off: the waiter wakes owning the mutex.
+                self.owner = Some(next);
+                self.recursion = 1;
+                Some(next)
+            }
+            None => {
+                self.owner = None;
+                None
+            }
+        }
+    }
+
+    /// Enqueues a thread to wait on the mutex.
+    pub fn enqueue_waiter(&mut self, t: ThreadId) {
+        self.waiters.push_back(t);
+    }
+
+    /// Removes a thread from the wait queue.
+    pub fn remove_waiter(&mut self, t: ThreadId) {
+        self.waiters.retain(|&w| w != t);
+    }
+}
+
+impl Default for KMutex {
+    fn default() -> KMutex {
+        KMutex::new()
+    }
+}
+
+/// A kernel semaphore object.
+#[derive(Debug)]
+pub struct KSemaphore {
+    /// Current count; waits are satisfied while positive.
+    pub count: u32,
+    /// Maximum count; releases beyond it saturate.
+    pub limit: u32,
+    /// Threads blocked on the semaphore, FIFO.
+    pub waiters: VecDeque<ThreadId>,
+}
+
+impl KSemaphore {
+    /// Creates a semaphore with the given initial count and limit.
+    pub fn new(initial: u32, limit: u32) -> KSemaphore {
+        assert!(limit >= 1, "semaphore limit must be at least 1");
+        assert!(initial <= limit, "initial count exceeds limit");
+        KSemaphore {
+            count: initial,
+            limit,
+            waiters: VecDeque::new(),
+        }
+    }
+
+    /// Releases the semaphore by `n`, returning the threads released.
+    pub fn release(&mut self, n: u32) -> Vec<ThreadId> {
+        let mut budget = n.min(self.limit - self.count + self.waiters.len() as u32);
+        let mut released = Vec::new();
+        while budget > 0 {
+            match self.waiters.pop_front() {
+                Some(t) => {
+                    released.push(t);
+                    budget -= 1;
+                }
+                None => break,
+            }
+        }
+        self.count = (self.count + budget).min(self.limit);
+        released
+    }
+
+    /// Attempts to satisfy a wait immediately, decrementing the count.
+    pub fn try_acquire(&mut self) -> bool {
+        if self.count > 0 {
+            self.count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Enqueues a thread to wait on the semaphore.
+    pub fn enqueue_waiter(&mut self, t: ThreadId) {
+        self.waiters.push_back(t);
+    }
+
+    /// Removes a thread from the wait queue.
+    pub fn remove_waiter(&mut self, t: ThreadId) {
+        self.waiters.retain(|&w| w != t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_event_autoclears_on_single_release() {
+        let mut e = KEvent::new(EventKind::Synchronization, false);
+        e.enqueue_waiter(ThreadId(1));
+        e.enqueue_waiter(ThreadId(2));
+        let released = e.set();
+        assert_eq!(released, vec![ThreadId(1)]);
+        assert!(!e.signaled, "auto-clear after satisfying one wait");
+        assert_eq!(e.waiters.len(), 1);
+    }
+
+    #[test]
+    fn sync_event_set_with_no_waiters_latches() {
+        let mut e = KEvent::new(EventKind::Synchronization, false);
+        assert!(e.set().is_empty());
+        assert!(e.signaled);
+        // The latched signal satisfies exactly one try_acquire.
+        assert!(e.try_acquire());
+        assert!(!e.try_acquire());
+    }
+
+    #[test]
+    fn notification_event_releases_all_and_stays_signaled() {
+        let mut e = KEvent::new(EventKind::Notification, false);
+        e.enqueue_waiter(ThreadId(1));
+        e.enqueue_waiter(ThreadId(2));
+        let released = e.set();
+        assert_eq!(released, vec![ThreadId(1), ThreadId(2)]);
+        assert!(e.signaled);
+        // Still signaled: later waits are satisfied immediately.
+        assert!(e.try_acquire());
+        assert!(e.try_acquire());
+        e.reset();
+        assert!(!e.try_acquire());
+    }
+
+    #[test]
+    fn event_remove_waiter() {
+        let mut e = KEvent::new(EventKind::Synchronization, false);
+        e.enqueue_waiter(ThreadId(1));
+        e.enqueue_waiter(ThreadId(2));
+        e.remove_waiter(ThreadId(1));
+        assert_eq!(e.set(), vec![ThreadId(2)]);
+    }
+
+    #[test]
+    fn semaphore_counts_and_releases_fifo() {
+        let mut s = KSemaphore::new(1, 4);
+        assert!(s.try_acquire());
+        assert!(!s.try_acquire());
+        s.enqueue_waiter(ThreadId(5));
+        s.enqueue_waiter(ThreadId(6));
+        let released = s.release(1);
+        assert_eq!(released, vec![ThreadId(5)]);
+        assert_eq!(s.count, 0, "release consumed by a waiter");
+        let released = s.release(3);
+        assert_eq!(released, vec![ThreadId(6)]);
+        assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    fn semaphore_release_saturates_at_limit() {
+        let mut s = KSemaphore::new(0, 2);
+        let released = s.release(10);
+        assert!(released.is_empty());
+        assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial count exceeds limit")]
+    fn semaphore_rejects_bad_initial() {
+        let _ = KSemaphore::new(3, 2);
+    }
+
+    #[test]
+    fn mutex_basic_acquire_release() {
+        let mut m = KMutex::new();
+        assert!(m.try_acquire(ThreadId(1)));
+        assert!(!m.try_acquire(ThreadId(2)));
+        assert_eq!(m.release(ThreadId(1)), None);
+        assert!(m.try_acquire(ThreadId(2)));
+    }
+
+    #[test]
+    fn mutex_recursion() {
+        let mut m = KMutex::new();
+        assert!(m.try_acquire(ThreadId(1)));
+        assert!(m.try_acquire(ThreadId(1)));
+        assert_eq!(m.release(ThreadId(1)), None);
+        assert_eq!(m.owner, Some(ThreadId(1)), "still held after one release");
+        assert_eq!(m.release(ThreadId(1)), None);
+        assert_eq!(m.owner, None);
+    }
+
+    #[test]
+    fn mutex_handoff_to_waiter() {
+        let mut m = KMutex::new();
+        m.try_acquire(ThreadId(1));
+        m.enqueue_waiter(ThreadId(2));
+        m.enqueue_waiter(ThreadId(3));
+        assert_eq!(m.release(ThreadId(1)), Some(ThreadId(2)));
+        assert_eq!(m.owner, Some(ThreadId(2)), "handoff transfers ownership");
+        assert_eq!(m.release(ThreadId(2)), Some(ThreadId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-owner")]
+    fn mutex_release_by_non_owner_panics() {
+        let mut m = KMutex::new();
+        m.try_acquire(ThreadId(1));
+        let _ = m.release(ThreadId(2));
+    }
+
+    #[test]
+    fn mutex_remove_waiter() {
+        let mut m = KMutex::new();
+        m.try_acquire(ThreadId(1));
+        m.enqueue_waiter(ThreadId(2));
+        m.remove_waiter(ThreadId(2));
+        assert_eq!(m.release(ThreadId(1)), None);
+    }
+}

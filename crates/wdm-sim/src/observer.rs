@@ -1,0 +1,106 @@
+//! Kernel instrumentation hooks.
+//!
+//! The paper instruments the OS "non-invasively" with the Pentium TSC:
+//! timestamps at ISR entry, DPC start and thread resume, plus an IDT hook
+//! that samples the interrupted context on every clock interrupt (§2.2,
+//! §2.3). Observers receive exactly those events. The latency measurement
+//! tools and the latency cause tool in `wdm-latency` are observers.
+
+use crate::{
+    ids::{DpcId, IrpId, ThreadId, VectorId},
+    labels::Label,
+    step::Blackboard,
+    time::Instant,
+};
+
+/// Emitted when an ISR begins executing its first instruction.
+#[derive(Debug, Clone, Copy)]
+pub struct IsrEnter {
+    /// Which vector.
+    pub vector: VectorId,
+    /// When the hardware asserted the interrupt at the processor.
+    pub asserted: Instant,
+    /// When the ISR's first instruction ran. `started - asserted` is the
+    /// paper's interrupt latency.
+    pub started: Instant,
+    /// What was executing when the interrupt finally got dispatched — the
+    /// sample the paper's IDT hook records.
+    pub interrupted_label: Label,
+}
+
+/// Emitted when a DPC begins executing.
+#[derive(Debug, Clone, Copy)]
+pub struct DpcStart {
+    /// Which DPC object.
+    pub dpc: DpcId,
+    /// When `KeInsertQueueDpc` ran. `started - queued` is DPC latency.
+    pub queued: Instant,
+    /// When the DPC's first instruction ran.
+    pub started: Instant,
+}
+
+/// Emitted when a thread resumes after a wait was satisfied by a signal.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadResume {
+    /// Which thread.
+    pub thread: ThreadId,
+    /// The thread's priority at resume time.
+    pub priority: u8,
+    /// When the signaling code (e.g. `KeSetEvent` in a DPC) readied it.
+    /// `started - readied` is the paper's thread latency.
+    pub readied: Instant,
+    /// When the thread executed its first instruction after the wait,
+    /// context switch included.
+    pub started: Instant,
+}
+
+/// Receives kernel instrumentation events.
+///
+/// All methods default to no-ops so observers implement only what they need.
+pub trait Observer {
+    /// An ISR entered. Fires for every vector, including the PIT.
+    fn on_isr_enter(&mut self, _e: &IsrEnter) {}
+
+    /// A DPC started executing.
+    fn on_dpc_start(&mut self, _e: &DpcStart) {}
+
+    /// A thread resumed from a signaled wait.
+    fn on_thread_resume(&mut self, _e: &ThreadResume) {}
+
+    /// An IRP completed; the blackboard holds its system buffer.
+    fn on_irp_complete(&mut self, _irp: IrpId, _board: &Blackboard, _now: Instant) {}
+
+    /// A context switch occurred (for throughput/overhead accounting).
+    fn on_context_switch(&mut self, _from: Option<ThreadId>, _to: ThreadId, _now: Instant) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl Observer for Nop {}
+
+    #[test]
+    fn default_methods_are_noops() {
+        let mut n = Nop;
+        n.on_isr_enter(&IsrEnter {
+            vector: VectorId(0),
+            asserted: Instant(0),
+            started: Instant(1),
+            interrupted_label: Label::IDLE,
+        });
+        n.on_dpc_start(&DpcStart {
+            dpc: DpcId(0),
+            queued: Instant(0),
+            started: Instant(1),
+        });
+        n.on_thread_resume(&ThreadResume {
+            thread: ThreadId(0),
+            priority: 24,
+            readied: Instant(0),
+            started: Instant(1),
+        });
+        n.on_context_switch(None, ThreadId(0), Instant(2));
+    }
+}

@@ -1,0 +1,176 @@
+//! Kernel threads.
+//!
+//! WDM exposes 31 usable priorities: 1–15 are timesliced "normal" dynamic
+//! priorities, 16–31 are the real-time band (paper §2.2 glossary: "WDM has
+//! 16 real-time priorities, 16 through 31. 24 is the default."). The paper
+//! measures thread latency for kernel threads at real-time default (24) and
+//! high (28) priority.
+
+use crate::{
+    ids::WaitObject,
+    irql::Irql,
+    labels::Label,
+    step::{ExecState, Program},
+    time::{Cycles, Instant},
+};
+
+/// Default real-time priority for kernel threads.
+pub const RT_DEFAULT_PRIORITY: u8 = 24;
+/// The "high real-time" priority used by the paper's measurements.
+pub const RT_HIGH_PRIORITY: u8 = 28;
+/// First priority of the real-time band.
+pub const RT_BAND_START: u8 = 16;
+/// Highest usable priority.
+pub const MAX_PRIORITY: u8 = 31;
+
+/// Scheduling state of a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// On a ready queue.
+    Ready,
+    /// Currently owning the CPU (at most one thread).
+    Running,
+    /// Blocked on a dispatcher object or sleeping.
+    Waiting,
+    /// Exited; never scheduled again.
+    Terminated,
+}
+
+/// A thread control block.
+pub struct Tcb {
+    /// Debug name.
+    pub name: String,
+    /// Current (possibly boosted) priority, 1..=31.
+    pub priority: u8,
+    /// Base priority boosts decay back to.
+    pub base_priority: u8,
+    /// Scheduling state.
+    pub state: ThreadState,
+    /// The thread's code. Taken out while the kernel steps it.
+    pub program: Option<Box<dyn Program>>,
+    /// Whether `begin` has been delivered to the program.
+    pub started: bool,
+    /// Remaining quantum in cycles.
+    pub quantum_remaining: Cycles,
+    /// What the thread is blocked on, if waiting on an object.
+    pub wait: Option<WaitObject>,
+    /// Absolute deadline for a timed wait or sleep.
+    pub wait_deadline: Option<Instant>,
+    /// Whether the last timed wait expired rather than being satisfied.
+    pub last_wait_timed_out: bool,
+    /// When the thread was most recently made ready after a wait; the basis
+    /// for the paper's thread latency measurement.
+    pub readied_at: Option<Instant>,
+    /// Context-switch overhead still to be charged before the program runs.
+    pub pending_overhead: Cycles,
+    /// Whether the currently-executing busy chunk is dispatch overhead
+    /// rather than program work (controls when `readied_at` is consumed).
+    pub in_overhead: bool,
+    /// Execution progress: interrupted busy chunks survive preemption here.
+    pub exec: ExecState,
+    /// Program progress stashed while dispatch overhead runs.
+    pub saved_exec: Option<ExecState>,
+    /// IRQL the thread has raised itself to (PASSIVE normally).
+    pub irql: Irql,
+    /// Label attributed while the kernel runs thread-side bookkeeping.
+    pub label: Label,
+    /// Pending APCs, FIFO.
+    pub apcs: std::collections::VecDeque<crate::ids::ApcId>,
+    /// The APC routine currently executing in this thread, if any.
+    pub active_apc: Option<(crate::ids::ApcId, Box<dyn Program>)>,
+    /// Multi-object wait set the thread is blocked on, if any.
+    pub wait_set: Option<crate::ids::WaitSetId>,
+    /// Index of the object that satisfied the last `WaitAny`.
+    pub last_wait_index: usize,
+    /// Number of times the thread was dispatched.
+    pub dispatch_count: u64,
+    /// Number of waits satisfied.
+    pub waits_satisfied: u64,
+}
+
+impl Tcb {
+    /// Creates a ready thread with the given program.
+    pub fn new(name: &str, priority: u8, program: Box<dyn Program>) -> Tcb {
+        assert!(
+            (1..=MAX_PRIORITY).contains(&priority),
+            "thread priority must be 1..=31"
+        );
+        Tcb {
+            name: name.to_string(),
+            priority,
+            base_priority: priority,
+            state: ThreadState::Ready,
+            program: Some(program),
+            started: false,
+            quantum_remaining: Cycles::ZERO,
+            wait: None,
+            wait_deadline: None,
+            last_wait_timed_out: false,
+            readied_at: None,
+            pending_overhead: Cycles::ZERO,
+            in_overhead: false,
+            exec: ExecState::NeedStep,
+            saved_exec: None,
+            irql: Irql::PASSIVE,
+            label: Label::KERNEL,
+            apcs: std::collections::VecDeque::new(),
+            active_apc: None,
+            wait_set: None,
+            last_wait_index: 0,
+            dispatch_count: 0,
+            waits_satisfied: 0,
+        }
+    }
+
+    /// True if the thread is in the real-time priority band.
+    pub fn is_realtime(&self) -> bool {
+        self.priority >= RT_BAND_START
+    }
+}
+
+impl core::fmt::Debug for Tcb {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Tcb")
+            .field("name", &self.name)
+            .field("priority", &self.priority)
+            .field("state", &self.state)
+            .field("irql", &self.irql)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::{LoopSeq, Step};
+
+    fn dummy() -> Box<dyn Program> {
+        Box::new(LoopSeq::new(vec![Step::Yield]))
+    }
+
+    #[test]
+    fn new_thread_is_ready_at_passive() {
+        let t = Tcb::new("worker", RT_DEFAULT_PRIORITY, dummy());
+        assert_eq!(t.state, ThreadState::Ready);
+        assert_eq!(t.irql, Irql::PASSIVE);
+        assert!(t.is_realtime());
+    }
+
+    #[test]
+    fn realtime_band_boundary() {
+        assert!(!Tcb::new("n", 15, dummy()).is_realtime());
+        assert!(Tcb::new("r", 16, dummy()).is_realtime());
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=31")]
+    fn rejects_priority_zero() {
+        let _ = Tcb::new("bad", 0, dummy());
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=31")]
+    fn rejects_priority_over_31() {
+        let _ = Tcb::new("bad", 32, dummy());
+    }
+}

@@ -1,0 +1,179 @@
+//! Simulated time.
+//!
+//! The simulator models the Pentium II time-stamp counter (TSC) of the
+//! paper's test machine: a free-running cycle counter incremented at the
+//! processor clock rate. All simulation time is kept in integer cycles; the
+//! conversion helpers below assume the paper's 300 MHz part by default, but
+//! the clock rate is a [`crate::config::KernelConfig`] parameter so the
+//! machine can be re-provisioned.
+
+/// Clock rate of the paper's test system: a 300 MHz Pentium II (Table 2).
+pub const DEFAULT_CPU_HZ: u64 = 300_000_000;
+
+/// A duration measured in processor cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+/// An absolute point in simulated time: the value the TSC would read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant(pub u64);
+
+impl Cycles {
+    /// Zero-length duration.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Builds a duration from milliseconds at a given clock rate.
+    pub fn from_ms_at(ms: f64, hz: u64) -> Cycles {
+        Cycles((ms * hz as f64 / 1e3).round() as u64)
+    }
+
+    /// Builds a duration from microseconds at a given clock rate.
+    pub fn from_us_at(us: f64, hz: u64) -> Cycles {
+        Cycles((us * hz as f64 / 1e6).round() as u64)
+    }
+
+    /// Builds a duration from milliseconds at the default 300 MHz clock.
+    pub fn from_ms(ms: f64) -> Cycles {
+        Cycles::from_ms_at(ms, DEFAULT_CPU_HZ)
+    }
+
+    /// Builds a duration from microseconds at the default 300 MHz clock.
+    pub fn from_us(us: f64) -> Cycles {
+        Cycles::from_us_at(us, DEFAULT_CPU_HZ)
+    }
+
+    /// Converts to milliseconds at a given clock rate.
+    pub fn as_ms_at(self, hz: u64) -> f64 {
+        self.0 as f64 * 1e3 / hz as f64
+    }
+
+    /// Converts to milliseconds at the default 300 MHz clock.
+    pub fn as_ms(self) -> f64 {
+        self.as_ms_at(DEFAULT_CPU_HZ)
+    }
+
+    /// Converts to microseconds at the default 300 MHz clock.
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 * 1e6 / DEFAULT_CPU_HZ as f64
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two durations.
+    pub fn min(self, other: Cycles) -> Cycles {
+        Cycles(self.0.min(other.0))
+    }
+
+    /// True if this duration is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Instant {
+    /// The epoch: TSC value zero at simulation start.
+    pub const ZERO: Instant = Instant(0);
+
+    /// Duration elapsed since an earlier instant (saturating).
+    pub fn since(self, earlier: Instant) -> Cycles {
+        Cycles(self.0.saturating_sub(earlier.0))
+    }
+
+    /// This instant advanced by a duration.
+    pub fn after(self, d: Cycles) -> Instant {
+        Instant(self.0 + d.0)
+    }
+
+    /// Converts the absolute time to milliseconds since simulation start.
+    pub fn as_ms(self) -> f64 {
+        Cycles(self.0).as_ms()
+    }
+}
+
+impl core::ops::Add<Cycles> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Cycles) -> Instant {
+        self.after(rhs)
+    }
+}
+
+impl core::ops::Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl core::ops::Sub for Instant {
+    type Output = Cycles;
+    fn sub(self, rhs: Instant) -> Cycles {
+        self.since(rhs)
+    }
+}
+
+impl core::ops::Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_round_trip_at_default_clock() {
+        let c = Cycles::from_ms(1.0);
+        assert_eq!(c.0, 300_000);
+        assert!((c.as_ms() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn us_conversion() {
+        let c = Cycles::from_us(10.0);
+        assert_eq!(c.0, 3_000);
+        assert!((c.as_us() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t0 = Instant(1_000);
+        let t1 = t0 + Cycles(500);
+        assert_eq!(t1, Instant(1_500));
+        assert_eq!(t1 - t0, Cycles(500));
+        // `since` saturates rather than underflowing.
+        assert_eq!(t0.since(t1), Cycles(0));
+    }
+
+    #[test]
+    fn custom_clock_rate() {
+        let c = Cycles::from_ms_at(2.0, 100_000_000);
+        assert_eq!(c.0, 200_000);
+        assert!((c.as_ms_at(100_000_000) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_min_max_sub() {
+        let a = Cycles(10);
+        let b = Cycles(4);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+        assert_eq!(a.saturating_sub(b), Cycles(6));
+    }
+}

@@ -1,0 +1,191 @@
+//! Kernel timers and the programmable interval timer tick.
+//!
+//! WDM timers (`KTIMER`) are tick-granular: `KeSetTimer` arms a due time,
+//! and the timer actually *fires* during the first PIT clock interrupt at or
+//! after that due time. The paper raises the PIT from its 67–100 Hz default
+//! to 1 kHz so its measurement timer expires every millisecond (§2.2). A
+//! timer may carry an associated DPC, queued at expiry from the clock ISR —
+//! exactly the PIT ISR → DPC hop in Figure 3.
+
+use crate::{
+    ids::DpcId,
+    time::{Cycles, Instant},
+};
+
+/// A kernel timer object.
+#[derive(Debug)]
+pub struct KTimer {
+    /// Absolute due time if armed.
+    pub due: Option<Instant>,
+    /// Re-arm interval for periodic timers (NT 4.0 added these).
+    pub period: Option<Cycles>,
+    /// DPC queued when the timer fires, if any.
+    pub dpc: Option<DpcId>,
+    /// Timers are dispatcher objects: signaled on expiry.
+    pub signaled: bool,
+    /// Threads blocked waiting on the timer, FIFO.
+    pub waiters: std::collections::VecDeque<crate::ids::ThreadId>,
+    /// Total expirations, for stats.
+    pub fire_count: u64,
+}
+
+impl KTimer {
+    /// Creates an unarmed timer, optionally bound to a DPC.
+    pub fn new(dpc: Option<DpcId>) -> KTimer {
+        KTimer {
+            due: None,
+            period: None,
+            dpc,
+            signaled: false,
+            waiters: std::collections::VecDeque::new(),
+            fire_count: 0,
+        }
+    }
+
+    /// Arms the timer (`KeSetTimerEx`). Re-arming replaces the previous due
+    /// time and clears the signaled state, per NT semantics.
+    pub fn set(&mut self, now: Instant, due_in: Cycles, period: Option<Cycles>) {
+        self.due = Some(now + due_in);
+        self.period = period;
+        self.signaled = false;
+    }
+
+    /// Disarms the timer (`KeCancelTimer`). Returns whether it was armed.
+    pub fn cancel(&mut self) -> bool {
+        self.period = None;
+        self.due.take().is_some()
+    }
+
+    /// True if the timer is due at or before `now`.
+    pub fn is_due(&self, now: Instant) -> bool {
+        matches!(self.due, Some(d) if d <= now)
+    }
+
+    /// Fires the timer: marks it signaled, bumps stats and re-arms periodic
+    /// timers. Returns the DPC to queue, if any.
+    ///
+    /// The caller (the clock ISR path) wakes the waiters.
+    pub fn fire(&mut self, now: Instant) -> Option<DpcId> {
+        debug_assert!(self.is_due(now));
+        self.fire_count += 1;
+        self.signaled = true;
+        match self.period {
+            Some(p) => {
+                // Periodic timers re-arm relative to the *due* time, not the
+                // firing tick, so they do not drift.
+                let due = self.due.expect("fired timer must have been armed");
+                self.due = Some(due + p);
+            }
+            None => self.due = None,
+        }
+        self.dpc
+    }
+}
+
+/// The programmable interval timer.
+///
+/// Generates the clock interrupt at a fixed frequency. Both OSs default to
+/// 67–100 Hz; the paper reprograms it to 1 kHz.
+#[derive(Debug, Clone, Copy)]
+pub struct Pit {
+    /// Tick period in cycles.
+    pub period: Cycles,
+    /// Next tick time.
+    pub next_tick: Instant,
+    /// Ticks delivered so far.
+    pub tick_count: u64,
+}
+
+impl Pit {
+    /// Creates a PIT with the given period, first tick one period in.
+    pub fn new(period: Cycles) -> Pit {
+        assert!(!period.is_zero(), "PIT period must be non-zero");
+        Pit {
+            period,
+            next_tick: Instant::ZERO + period,
+            tick_count: 0,
+        }
+    }
+
+    /// Creates a PIT from a frequency in Hz at a given CPU clock.
+    pub fn from_hz(hz: u64, cpu_hz: u64) -> Pit {
+        assert!(hz > 0, "PIT frequency must be positive");
+        Pit::new(Cycles(cpu_hz / hz))
+    }
+
+    /// Advances past the tick at `now`, scheduling the next one.
+    pub fn advance(&mut self) {
+        self.tick_count += 1;
+        self.next_tick = self.next_tick + self.period;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_set_fire_oneshot() {
+        let mut t = KTimer::new(Some(DpcId(3)));
+        t.set(Instant(1000), Cycles(500), None);
+        assert!(!t.is_due(Instant(1499)));
+        assert!(t.is_due(Instant(1500)));
+        assert_eq!(t.fire(Instant(1500)), Some(DpcId(3)));
+        assert!(t.signaled);
+        assert_eq!(t.due, None);
+        assert_eq!(t.fire_count, 1);
+    }
+
+    #[test]
+    fn periodic_timer_rearms_without_drift() {
+        let mut t = KTimer::new(None);
+        t.set(Instant(0), Cycles(100), Some(Cycles(100)));
+        // Fired late (at 130), but the next due time stays on the grid.
+        assert!(t.is_due(Instant(130)));
+        t.fire(Instant(130));
+        assert_eq!(t.due, Some(Instant(200)));
+    }
+
+    #[test]
+    fn rearming_clears_signal() {
+        let mut t = KTimer::new(None);
+        t.set(Instant(0), Cycles(10), None);
+        t.fire(Instant(10));
+        assert!(t.signaled);
+        t.set(Instant(20), Cycles(10), None);
+        assert!(!t.signaled);
+    }
+
+    #[test]
+    fn cancel_reports_armed_state() {
+        let mut t = KTimer::new(None);
+        assert!(!t.cancel());
+        t.set(Instant(0), Cycles(10), Some(Cycles(10)));
+        assert!(t.cancel());
+        assert_eq!(t.due, None);
+        assert_eq!(t.period, None);
+    }
+
+    #[test]
+    fn pit_period_math() {
+        // 1 kHz at 300 MHz = 300k cycles per tick.
+        let pit = Pit::from_hz(1000, 300_000_000);
+        assert_eq!(pit.period, Cycles(300_000));
+        assert_eq!(pit.next_tick, Instant(300_000));
+    }
+
+    #[test]
+    fn pit_advance() {
+        let mut pit = Pit::new(Cycles(100));
+        pit.advance();
+        pit.advance();
+        assert_eq!(pit.tick_count, 2);
+        assert_eq!(pit.next_tick, Instant(300));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn pit_rejects_zero_period() {
+        let _ = Pit::new(Cycles(0));
+    }
+}

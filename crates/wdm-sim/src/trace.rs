@@ -1,0 +1,230 @@
+//! Bounded kernel event tracing for debugging simulations.
+//!
+//! [`EventTrace`] is an [`Observer`] that keeps the last N instrumentation
+//! events in a ring and renders them as a human-readable timeline — the
+//! tool you reach for when a scenario misbehaves, before instrumenting
+//! anything by hand.
+
+use std::collections::VecDeque;
+
+use crate::{
+    ids::ThreadId,
+    observer::{DpcStart, IsrEnter, Observer, ThreadResume},
+    time::Instant,
+};
+
+/// One traced kernel event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// An ISR entered: (vector index, assert time, start time).
+    Isr {
+        /// Vector index.
+        vector: usize,
+        /// Hardware assertion time.
+        asserted: Instant,
+        /// First ISR instruction time.
+        started: Instant,
+    },
+    /// A DPC started: (dpc index, queue time, start time).
+    Dpc {
+        /// DPC index.
+        dpc: usize,
+        /// Queue time.
+        queued: Instant,
+        /// First DPC instruction time.
+        started: Instant,
+    },
+    /// A thread resumed from a wait.
+    Resume {
+        /// The thread.
+        thread: ThreadId,
+        /// Its priority.
+        priority: u8,
+        /// When it was readied.
+        readied: Instant,
+        /// When it ran.
+        started: Instant,
+    },
+    /// A context switch occurred.
+    Switch {
+        /// Outgoing thread, if any.
+        from: Option<ThreadId>,
+        /// Incoming thread.
+        to: ThreadId,
+        /// When.
+        at: Instant,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp (completion side).
+    pub fn at(&self) -> Instant {
+        match *self {
+            TraceEvent::Isr { started, .. } => started,
+            TraceEvent::Dpc { started, .. } => started,
+            TraceEvent::Resume { started, .. } => started,
+            TraceEvent::Switch { at, .. } => at,
+        }
+    }
+}
+
+/// A bounded ring of recent kernel events.
+#[derive(Debug)]
+pub struct EventTrace {
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    /// Total events observed (including evicted ones).
+    pub total: u64,
+}
+
+impl EventTrace {
+    /// Creates a trace keeping the most recent `capacity` events.
+    pub fn new(capacity: usize) -> EventTrace {
+        assert!(capacity > 0, "trace capacity must be positive");
+        EventTrace {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            total: 0,
+        }
+    }
+
+    fn push(&mut self, e: TraceEvent) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(e);
+        self.total += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True if nothing was traced.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Renders the retained events as a timeline, one line each, at the
+    /// given CPU clock rate.
+    pub fn render(&self, cpu_hz: u64) -> String {
+        let ms = |t: Instant| t.0 as f64 * 1e3 / cpu_hz as f64;
+        let mut out = String::new();
+        for e in &self.ring {
+            let line = match *e {
+                TraceEvent::Isr {
+                    vector,
+                    asserted,
+                    started,
+                } => format!(
+                    "{:>12.4} ms  ISR    vec#{vector:<3} latency {:.4} ms",
+                    ms(started),
+                    ms(started) - ms(asserted)
+                ),
+                TraceEvent::Dpc {
+                    dpc,
+                    queued,
+                    started,
+                } => format!(
+                    "{:>12.4} ms  DPC    dpc#{dpc:<3} latency {:.4} ms",
+                    ms(started),
+                    ms(started) - ms(queued)
+                ),
+                TraceEvent::Resume {
+                    thread,
+                    priority,
+                    readied,
+                    started,
+                } => format!(
+                    "{:>12.4} ms  WAKE   {thread} prio {priority} latency {:.4} ms",
+                    ms(started),
+                    ms(started) - ms(readied)
+                ),
+                TraceEvent::Switch { from, to, at } => format!(
+                    "{:>12.4} ms  SWITCH {} -> {to}",
+                    ms(at),
+                    from.map(|t| t.to_string()).unwrap_or_else(|| "idle".into())
+                ),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Observer for EventTrace {
+    fn on_isr_enter(&mut self, e: &IsrEnter) {
+        self.push(TraceEvent::Isr {
+            vector: e.vector.0,
+            asserted: e.asserted,
+            started: e.started,
+        });
+    }
+
+    fn on_dpc_start(&mut self, e: &DpcStart) {
+        self.push(TraceEvent::Dpc {
+            dpc: e.dpc.0,
+            queued: e.queued,
+            started: e.started,
+        });
+    }
+
+    fn on_thread_resume(&mut self, e: &ThreadResume) {
+        self.push(TraceEvent::Resume {
+            thread: e.thread,
+            priority: e.priority,
+            readied: e.readied,
+            started: e.started,
+        });
+    }
+
+    fn on_context_switch(&mut self, from: Option<ThreadId>, to: ThreadId, now: Instant) {
+        self.push(TraceEvent::Switch { from, to, at: now });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{config::KernelConfig, kernel::Kernel, time::Cycles};
+    use std::{cell::RefCell, rc::Rc};
+
+    #[test]
+    fn trace_captures_and_caps() {
+        let mut k = Kernel::new(KernelConfig::default());
+        let trace = Rc::new(RefCell::new(EventTrace::new(16)));
+        k.add_observer(trace.clone());
+        k.run_for(Cycles::from_ms(100.0)); // ~100 PIT ISRs.
+        let t = trace.borrow();
+        assert_eq!(t.len(), 16, "ring caps retention");
+        // ~100 ms at 1 kHz: 99 or 100 ticks depending on boundary handling.
+        assert!(t.total >= 99, "all events counted: {}", t.total);
+        let rendered = t.render(k.config().cpu_hz);
+        assert_eq!(rendered.lines().count(), 16);
+        assert!(rendered.contains("ISR"));
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let mut k = Kernel::new(KernelConfig::default());
+        let trace = Rc::new(RefCell::new(EventTrace::new(64)));
+        k.add_observer(trace.clone());
+        k.run_for(Cycles::from_ms(50.0));
+        let t = trace.borrow();
+        let times: Vec<u64> = t.events().map(|e| e.at().0).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = EventTrace::new(0);
+    }
+}

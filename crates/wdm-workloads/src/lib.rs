@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # wdm-workloads — the application stress loads of the paper (§3.1)
+//!
+//! Four load categories, each a set of interrupting devices, CPU-bound
+//! application tasks and intensity factors for the OS background behavior:
+//!
+//! | Load | Paper source | Character |
+//! |---|---|---|
+//! | [`spec::WorkloadKind::Business`] | Business Winstone 97 | bursty disk + UI replay |
+//! | [`spec::WorkloadKind::Workstation`] | High-End Winstone 97 | CPU/disk bound |
+//! | [`spec::WorkloadKind::Games`] | Freespace, Unreal | interrupt-hostile, long DPC chains |
+//! | [`spec::WorkloadKind::Web`] | LAN browsing + A/V | NIC storms + legacy stack blocking |
+//!
+//! [`scenario::build_scenario`] composes a workload with an OS personality
+//! into a ready-to-run simulated machine; [`usage::UsageModel`] converts
+//! collected hours into heavy-user days/weeks for Table 3's worst-case
+//! columns.
+
+pub mod programs;
+pub mod scenario;
+pub mod spec;
+pub mod usage;
+
+pub use scenario::{build_scenario, Scenario, ScenarioOptions};
+pub use spec::{ArrivalSpec, CpuTaskSpec, DeviceSpec, WorkloadKind, WorkloadSpec};
+pub use usage::UsageModel;

@@ -1,0 +1,59 @@
+//! Quickstart: measure WDM latency distributions on a simulated machine.
+//!
+//! Builds the paper's measurement setup — a 1 kHz PIT timer whose DPC
+//! signals real-time threads at priority 28 and 24 — on a Windows NT 4.0
+//! personality under the Business Apps stress load, runs one simulated
+//! minute, and prints the latency summary.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use wdm_repro::latency::report::summarize;
+use wdm_repro::latency::session::{measure_scenario, MeasureOptions};
+use wdm_repro::osmodel::OsKind;
+use wdm_repro::workloads::WorkloadKind;
+
+fn main() {
+    let os = OsKind::Nt4;
+    let workload = WorkloadKind::Business;
+    let sim_minutes = 1.0;
+    println!(
+        "measuring {} under {} for {sim_minutes} simulated minute(s)...\n",
+        os.name(),
+        workload.name()
+    );
+
+    let m = measure_scenario(
+        os,
+        workload,
+        42,
+        sim_minutes / 60.0,
+        &MeasureOptions::default(),
+    );
+
+    println!("{}", summarize(&m.int_to_isr));
+    println!("{}", summarize(&m.int_to_dpc));
+    println!("{}", summarize(&m.thread_lat_28));
+    println!("{}", summarize(&m.thread_lat_24));
+    println!();
+    println!(
+        "tool rounds completed: {} (driver-estimated int->DPC mean: {:.4} ms)",
+        m.waits_28,
+        m.tool_est_int_to_dpc.hist.mean_ms()
+    );
+    println!(
+        "application throughput: {} ops in {:.1} s of simulated time",
+        m.ops_completed,
+        m.collected_hours * 3600.0
+    );
+    println!(
+        "CPU breakdown: isr {:.1}%, dpc {:.1}%, thread {:.1}%, idle {:.1}%",
+        pct(m.account.isr, &m),
+        pct(m.account.dpc, &m),
+        pct(m.account.thread, &m),
+        pct(m.account.idle, &m),
+    );
+}
+
+fn pct(part: u64, m: &wdm_repro::latency::session::ScenarioMeasurement) -> f64 {
+    part as f64 / m.account.total() as f64 * 100.0
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the WDM latency reproduction workspace.
+//!
+//! Re-exports the public API of every member crate so examples, integration
+//! tests and downstream users can depend on a single crate:
+//!
+//! - [`sim`] — discrete-event WDM kernel simulator (the hardware + kernel
+//!   substrate: TSC, PIT, interrupt controller, DPC queue, scheduler,
+//!   dispatcher objects, IRPs).
+//! - [`osmodel`] — Windows NT 4.0 and Windows 98 personalities plus the
+//!   stochastic perturbation modules (virus scanner, sound schemes).
+//! - [`workloads`] — the four application stress loads of the paper
+//!   (Business, Workstation, 3D Games, Web Browsing) and their usage models.
+//! - [`latency`] — the paper's contribution: latency measurement drivers,
+//!   distribution reports, worst-case extraction and the latency cause tool.
+//! - [`analysis`] — latency tolerance, soft-modem MTTF and schedulability
+//!   analysis.
+//! - [`softmodem`] — the simulated soft modem datapump and the deadline
+//!   monitor tool.
+
+pub use wdm_analysis as analysis;
+pub use wdm_latency as latency;
+pub use wdm_osmodel as osmodel;
+pub use wdm_sim as sim;
+pub use wdm_softmodem as softmodem;
+pub use wdm_workloads as workloads;

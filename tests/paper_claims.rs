@@ -1,0 +1,161 @@
+//! Integration tests asserting the paper's headline claims hold on the
+//! simulated reproduction (shape, not absolute numbers).
+//!
+//! Each test runs real OS x workload cells through the measurement session;
+//! durations are kept short enough for debug-mode CI.
+
+use wdm_repro::latency::session::{measure_scenario, MeasureOptions, ScenarioMeasurement};
+use wdm_repro::osmodel::OsKind;
+use wdm_repro::workloads::WorkloadKind;
+
+fn cell(os: OsKind, w: WorkloadKind, minutes: f64) -> ScenarioMeasurement {
+    measure_scenario(os, w, 4242, minutes / 60.0, &MeasureOptions::default())
+}
+
+/// §4.2: "NT 4.0 exhibits latency performance at least an order of
+/// magnitude superior to that of Windows 98" — thread latency tails.
+#[test]
+fn nt_thread_latency_an_order_better_than_win98() {
+    for w in [WorkloadKind::Business, WorkloadKind::Games] {
+        let nt = cell(OsKind::Nt4, w, 1.5);
+        let w98 = cell(OsKind::Win98, w, 1.5);
+        let nt_tail = nt.thread_lat_28.hist.quantile_exceeding(0.0005);
+        let w98_tail = w98.thread_lat_28.hist.quantile_exceeding(0.0005);
+        assert!(
+            w98_tail >= nt_tail * 8.0,
+            "{}: Win98 RT-28 tail {w98_tail:.3} ms should be ~an order above \
+             NT's {nt_tail:.3} ms",
+            w.name()
+        );
+    }
+}
+
+/// §4.2: "For NT 4.0 there is almost no distinction between DPC latencies
+/// and thread latencies for threads at high real-time priority."
+#[test]
+fn nt_rt28_threads_service_like_dpcs() {
+    let m = cell(OsKind::Nt4, WorkloadKind::Workstation, 1.5);
+    let dpc_tail = m.int_to_dpc.hist.quantile_exceeding(0.001);
+    let thr_tail = m.thread_int_28.hist.quantile_exceeding(0.001);
+    assert!(
+        thr_tail <= dpc_tail * 3.0 + 0.2,
+        "NT RT-28 thread ({thr_tail:.3} ms) must track DPC service ({dpc_tail:.3} ms)"
+    );
+}
+
+/// §4.2: the kernel work-item queue is serviced by a default-RT-priority
+/// thread, so NT priority-24 threads see far worse service than 28.
+#[test]
+fn nt_rt24_an_order_worse_than_rt28() {
+    let m = cell(OsKind::Nt4, WorkloadKind::Business, 2.0);
+    let t28 = m.thread_lat_28.hist.quantile_exceeding(0.001);
+    let t24 = m.thread_lat_24.hist.quantile_exceeding(0.001);
+    assert!(
+        t24 >= t28 * 4.0,
+        "NT RT-24 tail {t24:.3} ms should be far above RT-28's {t28:.3} ms"
+    );
+}
+
+/// §4.2 (Figure 4): on Windows 98 both real-time priorities are blocked by
+/// the same non-preemptible sections, so 24 and 28 look alike.
+#[test]
+fn win98_rt24_and_rt28_look_alike() {
+    let m = cell(OsKind::Win98, WorkloadKind::Web, 1.5);
+    let t28 = m.thread_lat_28.hist.quantile_exceeding(0.002);
+    let t24 = m.thread_lat_24.hist.quantile_exceeding(0.002);
+    let ratio = (t24 / t28).max(t28 / t24);
+    assert!(
+        ratio < 2.0,
+        "Win98 RT-24 ({t24:.3} ms) and RT-28 ({t28:.3} ms) should be similar"
+    );
+}
+
+/// §4.2: on Windows 98, DPCs get an order of magnitude better worst-case
+/// service than real-time threads.
+#[test]
+fn win98_dpcs_beat_win98_threads() {
+    let m = cell(OsKind::Win98, WorkloadKind::Games, 1.5);
+    let dpc = m.int_to_dpc.hist.quantile_exceeding(0.0005);
+    let thr = m.thread_int_28.hist.quantile_exceeding(0.0005);
+    assert!(
+        thr >= dpc * 3.0,
+        "Win98 thread tail {thr:.3} ms must dominate DPC tail {dpc:.3} ms"
+    );
+}
+
+/// §4.2: throughput metrics barely distinguish the OSs (<= ~20% delta on
+/// the office benchmark) even though latency differs by orders.
+#[test]
+fn throughput_deltas_are_small_where_latency_is_not() {
+    for w in [WorkloadKind::Business, WorkloadKind::Workstation] {
+        let nt = cell(OsKind::Nt4, w, 1.0);
+        let w98 = cell(OsKind::Win98, w, 1.0);
+        let delta = (nt.ops_completed as f64 - w98.ops_completed as f64).abs()
+            / nt.ops_completed.max(w98.ops_completed) as f64;
+        assert!(
+            delta < 0.25,
+            "{}: throughput delta {:.0}% too large",
+            w.name(),
+            delta * 100.0
+        );
+    }
+}
+
+/// §4.1/§2.1: the latency hierarchy is internally consistent within any
+/// single cell: interrupt <= interrupt+DPC <= interrupt+DPC+thread (on
+/// tail quantiles).
+#[test]
+fn latency_chain_is_internally_consistent() {
+    for os in OsKind::ALL {
+        let m = cell(os, WorkloadKind::Workstation, 1.0);
+        let isr = m.int_to_isr.hist.mean_ms();
+        let dpc = m.int_to_dpc.hist.mean_ms();
+        let thr = m.thread_int_28.hist.mean_ms();
+        assert!(
+            isr <= dpc + 1e-6 && dpc <= thr + 1e-6,
+            "{}: chain means must be ordered: isr {isr}, dpc {dpc}, thread {thr}",
+            os.name()
+        );
+    }
+}
+
+/// §3.1 usage models feed Table 3: hourly <= daily <= weekly everywhere.
+#[test]
+fn worst_cases_are_monotone_across_horizons() {
+    use wdm_repro::latency::worstcase::worst_cases;
+    let m = cell(OsKind::Win98, WorkloadKind::Business, 2.0);
+    let (h, d, w) = m.usage.windows();
+    for series in [&m.int_to_isr, &m.int_to_dpc, &m.thread_int_28] {
+        let wc = worst_cases(series, m.collected_hours, h, d, w);
+        assert!(wc.hourly <= wc.daily + 1e-9, "{}", series.name);
+        assert!(wc.daily <= wc.weekly + 1e-9, "{}", series.name);
+    }
+}
+
+/// The measurement tool itself: the driver-computed (ASB) thread latency
+/// must agree with the simulator's ground truth.
+#[test]
+fn driver_samples_agree_with_ground_truth() {
+    let m = cell(OsKind::Nt4, WorkloadKind::Business, 1.0);
+    let tool = m.tool_dpc_to_thread_28.hist.mean_ms();
+    let truth = m.thread_lat_28.hist.mean_ms();
+    // ASB[2]-ASB[1] includes the DPC body's SetEvent call; both are means
+    // over thousands of rounds.
+    assert!(
+        (tool - truth).abs() < 0.05,
+        "driver mean {tool:.4} ms vs truth mean {truth:.4} ms"
+    );
+}
+
+/// The paper's timestamp-estimation method (ASB[0] + delay) is within one
+/// PIT period of the truth, as §2.2 argues.
+#[test]
+fn estimation_error_is_bounded_by_one_tick() {
+    let m = cell(OsKind::Nt4, WorkloadKind::Business, 1.0);
+    let est = m.tool_est_int_to_dpc.hist.mean_ms();
+    let exact = m.int_to_dpc.hist.mean_ms();
+    assert!(
+        (est - exact).abs() <= 1.0,
+        "estimated mean {est:.4} ms vs exact {exact:.4} ms must differ < 1 tick"
+    );
+}
