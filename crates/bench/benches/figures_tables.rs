@@ -12,6 +12,7 @@ fn quick() -> RunConfig {
     RunConfig {
         duration: Duration::Minutes(0.05),
         seed: 1999,
+        threads: 0,
     }
 }
 

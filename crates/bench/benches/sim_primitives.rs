@@ -2,11 +2,83 @@
 //! substrate itself runs. These guard against performance regressions that
 //! would make the full-collection reproduction runs impractical.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use wdm_latency::{histogram::LatencyHistogram, tool::MeasurementSession};
 use wdm_osmodel::personality::OsKind;
 use wdm_sim::prelude::*;
 use wdm_workloads::{build_scenario, ScenarioOptions, WorkloadKind};
+
+/// Global allocator wrapper that counts heap acquisitions (alloc, realloc,
+/// alloc_zeroed). The per-event benches below warm a kernel to steady state
+/// and then assert the count stays flat across millions of simulated
+/// events — the notify, WaitAny and timer-expiry hot paths must not touch
+/// the heap per event.
+mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static OPS: AtomicU64 = AtomicU64::new(0);
+
+    pub struct CountingAlloc;
+
+    /// Heap acquisitions since process start.
+    pub fn ops() -> u64 {
+        OPS.load(Ordering::Relaxed)
+    }
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+            OPS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(l)
+        }
+        unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+            OPS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(l)
+        }
+        unsafe fn realloc(&self, p: *mut u8, l: Layout, new: usize) -> *mut u8 {
+            OPS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(p, l, new)
+        }
+        unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+            System.dealloc(p, l)
+        }
+    }
+}
+
+#[global_allocator]
+static ALLOC: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc;
+
+/// Heap acquisitions performed while running `f`.
+fn heap_ops_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = counting_alloc::ops();
+    let r = f();
+    (counting_alloc::ops() - before, r)
+}
+
+/// Observer that dispatches every hook without allocating, so the benches
+/// exercise the real observer notification path.
+#[derive(Default)]
+struct CountingObserver {
+    events: u64,
+}
+
+impl Observer for CountingObserver {
+    fn on_isr_enter(&mut self, _e: &IsrEnter) {
+        self.events += 1;
+    }
+    fn on_dpc_start(&mut self, _e: &DpcStart) {
+        self.events += 1;
+    }
+    fn on_thread_resume(&mut self, _e: &ThreadResume) {
+        self.events += 1;
+    }
+    fn on_context_switch(&mut self, _f: Option<ThreadId>, _t: ThreadId, _n: Instant) {
+        self.events += 1;
+    }
+}
 
 /// One simulated second of an idle kernel (PIT only).
 fn bench_idle_kernel(c: &mut Criterion) {
@@ -92,6 +164,156 @@ fn bench_event_roundtrip(c: &mut Criterion) {
     });
 }
 
+/// Timer -> DPC -> SetEvent -> waiting thread, with observers installed on
+/// every hook: the full notify dispatch path fires per ISR entry, DPC
+/// start, thread resume and context switch.
+fn notify_kernel() -> (Kernel, ObserverHandle<CountingObserver>) {
+    let mut k = Kernel::new(KernelConfig::default());
+    let obs: ObserverHandle<CountingObserver> = Rc::new(RefCell::new(CountingObserver::default()));
+    k.add_observer(obs.clone());
+    // A second observer so the dispatch loop genuinely iterates.
+    k.add_observer(Rc::new(RefCell::new(CountingObserver::default())));
+    let evt = k.create_event(EventKind::Synchronization, false);
+    let slot = k.alloc_slots(1);
+    let _t = k.create_thread(
+        "waiter",
+        28,
+        Box::new(LoopSeq::new(vec![
+            Step::Wait(WaitObject::Event(evt)),
+            Step::ReadTsc(slot),
+        ])),
+    );
+    let dpc = k.create_dpc(
+        "sig",
+        DpcImportance::Medium,
+        Box::new(OpSeq::new(vec![Step::SetEvent(evt), Step::Return])),
+    );
+    let timer = k.create_timer(Some(dpc));
+    let _armer = k.create_thread(
+        "armer",
+        16,
+        Box::new(OpSeq::new(vec![Step::SetTimer {
+            timer,
+            due: Cycles::from_ms(1.0),
+            period: Some(Cycles::from_ms(1.0)),
+        }])),
+    );
+    (k, obs)
+}
+
+/// Thread looping on a two-event WaitAny set, satisfied by a periodic DPC:
+/// exercises the wait-set scan, block and ready paths each cycle.
+fn waitany_kernel() -> Kernel {
+    let mut k = Kernel::new(KernelConfig::default());
+    let a = k.create_event(EventKind::Synchronization, false);
+    let b = k.create_event(EventKind::Synchronization, false);
+    let set = k.create_wait_set(vec![WaitObject::Event(a), WaitObject::Event(b)]);
+    let slot = k.alloc_slots(1);
+    let _t = k.create_thread(
+        "any-waiter",
+        28,
+        Box::new(LoopSeq::new(vec![
+            Step::WaitAny(set),
+            Step::ReadTsc(slot),
+        ])),
+    );
+    let dpc = k.create_dpc(
+        "sig-b",
+        DpcImportance::Medium,
+        Box::new(OpSeq::new(vec![Step::SetEvent(b), Step::Return])),
+    );
+    let timer = k.create_timer(Some(dpc));
+    let _armer = k.create_thread(
+        "armer",
+        16,
+        Box::new(OpSeq::new(vec![Step::SetTimer {
+            timer,
+            due: Cycles::from_ms(1.0),
+            period: Some(Cycles::from_ms(1.0)),
+        }])),
+    );
+    k
+}
+
+/// Thread blocking directly on a one-shot kernel timer it re-arms each
+/// iteration (re-arming clears the signal, so every cycle genuinely
+/// blocks): each expiry wakes the waiter queue from the clock ISR.
+fn timer_expiry_kernel() -> Kernel {
+    let mut k = Kernel::new(KernelConfig::default());
+    let timer = k.create_timer(None);
+    let slot = k.alloc_slots(1);
+    let _t = k.create_thread(
+        "timer-waiter",
+        28,
+        Box::new(LoopSeq::new(vec![
+            Step::SetTimer {
+                timer,
+                due: Cycles::from_ms(1.0),
+                period: None,
+            },
+            Step::Wait(WaitObject::Timer(timer)),
+            Step::ReadTsc(slot),
+        ])),
+    );
+    k
+}
+
+/// Warms `k` to steady state, then asserts one simulated second of
+/// `label` processes events without a single heap acquisition.
+fn assert_alloc_free(label: &str, k: &mut Kernel) -> u64 {
+    k.run_for(Cycles::from_ms(200.0));
+    let events_before = k.sim_events;
+    let (ops, _) = heap_ops_during(|| k.run_for(Cycles::from_ms(1_000.0)));
+    let events = k.sim_events - events_before;
+    assert!(events > 1_000, "{label}: expected a busy steady state");
+    assert_eq!(
+        ops, 0,
+        "{label}: {ops} heap acquisitions across {events} events; \
+         the per-event hot path must not allocate"
+    );
+    events
+}
+
+/// Steady-state notify dispatch (observers installed), allocation-checked.
+fn bench_notify_steady_state(c: &mut Criterion) {
+    let (mut k, obs) = notify_kernel();
+    let events = assert_alloc_free("notify", &mut k);
+    assert!(obs.borrow().events > 0, "observer hooks must have fired");
+    eprintln!("  alloc-check notify: 0 heap ops across {events} events");
+    c.bench_function("sim/notify_steady_1s", |b| {
+        b.iter(|| {
+            k.run_for(Cycles::from_ms(1_000.0));
+            std::hint::black_box(k.sim_events)
+        })
+    });
+}
+
+/// Steady-state WaitAny block/ready cycling, allocation-checked.
+fn bench_waitany_steady_state(c: &mut Criterion) {
+    let mut k = waitany_kernel();
+    let events = assert_alloc_free("WaitAny", &mut k);
+    eprintln!("  alloc-check WaitAny: 0 heap ops across {events} events");
+    c.bench_function("sim/waitany_steady_1s", |b| {
+        b.iter(|| {
+            k.run_for(Cycles::from_ms(1_000.0));
+            std::hint::black_box(k.sim_events)
+        })
+    });
+}
+
+/// Steady-state timer-expiry waiter wakes, allocation-checked.
+fn bench_timer_expiry_steady_state(c: &mut Criterion) {
+    let mut k = timer_expiry_kernel();
+    let events = assert_alloc_free("timer expiry", &mut k);
+    eprintln!("  alloc-check timer expiry: 0 heap ops across {events} events");
+    c.bench_function("sim/timer_expiry_steady_1s", |b| {
+        b.iter(|| {
+            k.run_for(Cycles::from_ms(1_000.0));
+            std::hint::black_box(k.sim_events)
+        })
+    });
+}
+
 /// Histogram recording throughput.
 fn bench_histogram(c: &mut Criterion) {
     c.bench_function("latency/histogram_record_100k", |b| {
@@ -109,6 +331,8 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_idle_kernel, bench_measured_kernel, bench_games_cell,
-              bench_event_roundtrip, bench_histogram
+              bench_event_roundtrip, bench_notify_steady_state,
+              bench_waitany_steady_state, bench_timer_expiry_steady_state,
+              bench_histogram
 }
 criterion_main!(benches);

@@ -35,6 +35,10 @@ pub struct RunConfig {
     pub duration: Duration,
     /// Base RNG seed; each cell perturbs it deterministically.
     pub seed: u64,
+    /// Worker threads for independent simulation runs; 0 = one per
+    /// available core. Any value produces byte-identical output — each run
+    /// seeds from the job alone and results are collected in job order.
+    pub threads: usize,
 }
 
 impl Default for RunConfig {
@@ -42,6 +46,7 @@ impl Default for RunConfig {
         RunConfig {
             duration: Duration::Minutes(2.0),
             seed: 1999, // OSDI '99.
+            threads: 0,
         }
     }
 }
@@ -76,18 +81,119 @@ pub struct AllCells {
     pub win98: Vec<ScenarioMeasurement>,
 }
 
-/// Measures all 8 cells.
+/// Measures all 8 cells, fanned out over `cfg.threads` workers.
 pub fn measure_all(cfg: &RunConfig) -> AllCells {
-    let run = |os| {
-        WorkloadKind::ALL
-            .iter()
-            .map(|&w| measure_cell(cfg, os, w))
-            .collect()
-    };
-    AllCells {
-        nt: run(OsKind::Nt4),
-        win98: run(OsKind::Win98),
+    measure_all_timed(cfg).cells
+}
+
+/// Wall-clock cost of one measured cell.
+pub struct CellTiming {
+    /// Which OS ran.
+    pub os: OsKind,
+    /// Which stress load ran.
+    pub workload: WorkloadKind,
+    /// Host wall-clock seconds the cell took.
+    pub wall_s: f64,
+    /// Simulator decision-loop iterations the cell executed.
+    pub sim_events: u64,
+}
+
+/// The 8 cells plus harness timing metadata (the `timing` artifact).
+pub struct TimedCells {
+    /// The measurements, paper order.
+    pub cells: AllCells,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Wall-clock seconds for the whole grid.
+    pub total_wall_s: f64,
+    /// Per-cell timings, NT first, paper workload order.
+    pub timings: Vec<CellTiming>,
+}
+
+/// Measures all 8 cells and records per-cell wall-clock cost.
+///
+/// Cells are independent simulations (each seeds from
+/// [`cell_seed`] alone), so they fan out over scoped worker threads; the
+/// results are collected by job index, which keeps the output byte-identical
+/// to a serial run at any thread count.
+pub fn measure_all_timed(cfg: &RunConfig) -> TimedCells {
+    let jobs: Vec<(OsKind, WorkloadKind)> = [OsKind::Nt4, OsKind::Win98]
+        .into_iter()
+        .flat_map(|os| WorkloadKind::ALL.into_iter().map(move |w| (os, w)))
+        .collect();
+    let threads = crate::parallel::effective_threads(cfg.threads, jobs.len());
+    let t0 = std::time::Instant::now();
+    let results = crate::parallel::parallel_map(jobs.len(), threads, |i| {
+        let (os, w) = jobs[i];
+        let t = std::time::Instant::now();
+        let m = measure_cell(cfg, os, w);
+        (m, t.elapsed().as_secs_f64())
+    });
+    let total_wall_s = t0.elapsed().as_secs_f64();
+    let mut timings = Vec::with_capacity(jobs.len());
+    let mut nt = Vec::new();
+    let mut win98 = Vec::new();
+    for (&(os, workload), (m, wall_s)) in jobs.iter().zip(results) {
+        timings.push(CellTiming {
+            os,
+            workload,
+            wall_s,
+            sim_events: m.sim_events,
+        });
+        match os {
+            OsKind::Nt4 => nt.push(m),
+            _ => win98.push(m),
+        }
     }
+    TimedCells {
+        cells: AllCells { nt, win98 },
+        threads,
+        total_wall_s,
+        timings,
+    }
+}
+
+/// A complete, exact textual digest of a measurement's summary statistics:
+/// per-series sample counts, bin counts and extreme values (as exact f64
+/// bits), plus the run's counters. Two runs are observably identical for
+/// every renderer in this crate iff their digests match — the determinism
+/// test and the `timing` artifact compare these across thread counts.
+pub fn summary_digest(m: &ScenarioMeasurement) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = write!(out, "{:?}/{:?} hours={}", m.os, m.workload, m.collected_hours.to_bits());
+    let mut series = |name: &str, s: &wdm_latency::worstcase::LatencySeries| {
+        let _ = write!(
+            out,
+            " {name}:count={},max={},min={},mean={},bins={:?}",
+            s.hist.count(),
+            s.hist.max_ms().to_bits(),
+            s.hist.min_ms().to_bits(),
+            s.hist.mean_ms().to_bits(),
+            s.hist.counts()
+        );
+    };
+    series("int_to_isr", &m.int_to_isr);
+    series("int_to_isr_all", &m.int_to_isr_all_ticks);
+    series("isr_to_dpc", &m.isr_to_dpc);
+    series("int_to_dpc", &m.int_to_dpc);
+    series("dpc_lat", &m.dpc_lat);
+    series("thr_lat_28", &m.thread_lat_28);
+    series("thr_int_28", &m.thread_int_28);
+    series("thr_lat_24", &m.thread_lat_24);
+    series("thr_int_24", &m.thread_int_24);
+    series("tool_d2t_28", &m.tool_dpc_to_thread_28);
+    series("tool_est_i2d", &m.tool_est_int_to_dpc);
+    let _ = write!(
+        out,
+        " ops={} waits24={} waits28={} sim_events={} episodes={}",
+        m.ops_completed,
+        m.waits_24,
+        m.waits_28,
+        m.sim_events,
+        m.episodes.len()
+    );
+    out
 }
 
 #[cfg(test)]
@@ -116,6 +222,7 @@ mod tests {
         let cfg = RunConfig {
             duration: Duration::Minutes(0.05),
             seed: 3,
+            threads: 0,
         };
         let m = measure_cell(&cfg, OsKind::Nt4, WorkloadKind::Web);
         // Every-tick series sees ~3k samples in 3 s; the per-round series

@@ -80,8 +80,14 @@ pub fn validate(cfg: &RunConfig) -> String {
         (OsKind::Nt4, WorkloadKind::Games, Modality::Dpc, 6.0),
         (OsKind::Nt4, WorkloadKind::Games, Modality::Thread(28), 6.0),
     ];
-    for (os, w, modality, buf) in cases {
-        let v = validate_mttf(os, w, modality, buf, cell_seed(cfg.seed, os, w) ^ 0xda7a, hours);
+    // Each case is an independent simulation; fan them out and render in
+    // case order.
+    let threads = crate::parallel::effective_threads(cfg.threads, cases.len());
+    let results = crate::parallel::parallel_map(cases.len(), threads, |i| {
+        let (os, w, modality, buf) = cases[i];
+        validate_mttf(os, w, modality, buf, cell_seed(cfg.seed, os, w) ^ 0xda7a, hours)
+    });
+    for ((os, w, modality, buf), v) in cases.into_iter().zip(results) {
         let fmt_s = |x: f64| {
             if x.is_infinite() {
                 ">horizon".to_string()
@@ -147,20 +153,25 @@ pub fn stability(cfg: &RunConfig, seeds: usize) -> String {
         "{:<18}{:>14}{:>14}{:>14}{:>12}\n",
         "workload", "thr28 min", "thr28 median", "thr28 max", "max/min"
     );
-    for wl in WorkloadKind::ALL {
-        let mut weekly: Vec<f64> = (0..seeds)
-            .map(|i| {
-                let m = measure_scenario(
-                    OsKind::Win98,
-                    wl,
-                    cfg.seed.wrapping_add(7919 * i as u64 + 1),
-                    cfg.duration.hours_for(wl).min(0.2),
-                    &MeasureOptions::default(),
-                );
-                let (_, _, w) = m.usage.windows();
-                m.thread_int_28.expected_max_ms(w, m.collected_hours)
-            })
-            .collect();
+    // The whole workload x seed grid is independent runs; fan the flat
+    // grid out and regroup per workload afterwards.
+    let n_wl = WorkloadKind::ALL.len();
+    let threads = crate::parallel::effective_threads(cfg.threads, n_wl * seeds);
+    let grid = crate::parallel::parallel_map(n_wl * seeds, threads, |job| {
+        let wl = WorkloadKind::ALL[job / seeds];
+        let i = job % seeds;
+        let m = measure_scenario(
+            OsKind::Win98,
+            wl,
+            cfg.seed.wrapping_add(7919 * i as u64 + 1),
+            cfg.duration.hours_for(wl).min(0.2),
+            &MeasureOptions::default(),
+        );
+        let (_, _, w) = m.usage.windows();
+        m.thread_int_28.expected_max_ms(w, m.collected_hours)
+    });
+    for (wi, wl) in WorkloadKind::ALL.into_iter().enumerate() {
+        let mut weekly: Vec<f64> = grid[wi * seeds..(wi + 1) * seeds].to_vec();
         weekly.sort_by(f64::total_cmp);
         let min = weekly[0];
         let max = *weekly.last().expect("non-empty");
@@ -238,31 +249,48 @@ pub fn interactive(cfg: &RunConfig) -> String {
 ",
         "OS", "workload", "mean", "p99", "max"
     );
-    for os in OsKind::ALL {
-        for wl in [WorkloadKind::Business, WorkloadKind::Games] {
-            let mut scenario = wdm_workloads::build_scenario(
-                os,
-                wl,
-                cell_seed(cfg.seed, os, wl) ^ 0x1717,
-                &wdm_workloads::ScenarioOptions::default(),
-            );
-            let probe = InteractiveProbe::install(&mut scenario.kernel, 10.0);
-            let hours = cfg.duration.hours_for(wl).min(0.05);
-            scenario.kernel.run_for(Cycles::from_ms_at(
-                hours * 3_600_000.0,
-                scenario.kernel.config().cpu_hz,
-            ));
-            let r = probe.records.borrow();
-            out += &format!(
-                "{:<22}{:<18}{:>9.2} ms{:>9.2} ms{:>9.2} ms
+    // Each OS x workload probe run is an independent simulation; fan them
+    // out and render in grid order.
+    let grid: Vec<(OsKind, WorkloadKind)> = OsKind::ALL
+        .into_iter()
+        .flat_map(|os| {
+            [WorkloadKind::Business, WorkloadKind::Games]
+                .into_iter()
+                .map(move |wl| (os, wl))
+        })
+        .collect();
+    let threads = crate::parallel::effective_threads(cfg.threads, grid.len());
+    let stats = crate::parallel::parallel_map(grid.len(), threads, |i| {
+        let (os, wl) = grid[i];
+        let mut scenario = wdm_workloads::build_scenario(
+            os,
+            wl,
+            cell_seed(cfg.seed, os, wl) ^ 0x1717,
+            &wdm_workloads::ScenarioOptions::default(),
+        );
+        let probe = InteractiveProbe::install(&mut scenario.kernel, 10.0);
+        let hours = cfg.duration.hours_for(wl).min(0.05);
+        scenario.kernel.run_for(Cycles::from_ms_at(
+            hours * 3_600_000.0,
+            scenario.kernel.config().cpu_hz,
+        ));
+        let r = probe.records.borrow();
+        (
+            r.dispatch.hist.mean_ms(),
+            r.dispatch.hist.quantile_exceeding(0.01),
+            r.dispatch.hist.max_ms(),
+        )
+    });
+    for ((os, wl), (mean, p99, max)) in grid.into_iter().zip(stats) {
+        out += &format!(
+            "{:<22}{:<18}{:>9.2} ms{:>9.2} ms{:>9.2} ms
 ",
-                os.name(),
-                wl.name(),
-                r.dispatch.hist.mean_ms(),
-                r.dispatch.hist.quantile_exceeding(0.01),
-                r.dispatch.hist.max_ms()
-            );
-        }
+            os.name(),
+            wl.name(),
+            mean,
+            p99,
+            max
+        );
     }
     out += &format!(
         "
@@ -292,31 +320,51 @@ pub fn win2000(cfg: &RunConfig) -> String {
         "Windows 2000 beta monitoring (§6.1): weekly worst-case latencies,\n\
          same methodology as Table 3.\n\n",
     );
-    for wl in [WorkloadKind::Business, WorkloadKind::Games] {
+    // The 2 workloads x 3 OSes are independent cells; fan the flat grid
+    // out and render in grid order.
+    let grid: Vec<(WorkloadKind, OsKind)> = [WorkloadKind::Business, WorkloadKind::Games]
+        .into_iter()
+        .flat_map(|wl| OsKind::ALL_WITH_W2K.into_iter().map(move |os| (wl, os)))
+        .collect();
+    let threads = crate::parallel::effective_threads(cfg.threads, grid.len());
+    let rows = crate::parallel::parallel_map(grid.len(), threads, |i| {
+        let (wl, os) = grid[i];
+        let hours = cfg.duration.hours_for(wl);
+        let m = measure_scenario(
+            os,
+            wl,
+            cell_seed(cfg.seed, os, wl),
+            hours,
+            &MeasureOptions::default(),
+        );
+        let (_, _, w) = m.usage.windows();
+        let wk = |s: &LatencySeries| s.expected_max_ms(w, hours);
+        (
+            wk(&m.int_to_isr),
+            wk(&m.int_to_dpc),
+            wk(&m.thread_int_28),
+            wk(&m.thread_int_24),
+        )
+    });
+    let per_wl = OsKind::ALL_WITH_W2K.len();
+    for (wi, wl) in [WorkloadKind::Business, WorkloadKind::Games]
+        .into_iter()
+        .enumerate()
+    {
         out += &format!("{}:\n", wl.name());
         out += &format!(
             "  {:<22}{:>14}{:>14}{:>14}{:>14}\n",
             "OS", "int->ISR", "int->DPC", "int->thr28", "int->thr24"
         );
-        for os in OsKind::ALL_WITH_W2K {
-            let hours = cfg.duration.hours_for(wl);
-            let m = measure_scenario(
-                os,
-                wl,
-                cell_seed(cfg.seed, os, wl),
-                hours,
-                &MeasureOptions::default(),
-            );
-            let (h, d, w) = m.usage.windows();
-            let _ = (h, d);
-            let wk = |s: &LatencySeries| s.expected_max_ms(w, hours);
+        for (oi, os) in OsKind::ALL_WITH_W2K.into_iter().enumerate() {
+            let (isr, dpc, t28, t24) = rows[wi * per_wl + oi];
             out += &format!(
                 "  {:<22}{:>12.2}ms{:>12.2}ms{:>12.2}ms{:>12.2}ms\n",
                 os.name(),
-                wk(&m.int_to_isr),
-                wk(&m.int_to_dpc),
-                wk(&m.thread_int_28),
-                wk(&m.thread_int_24)
+                isr,
+                dpc,
+                t28,
+                t24
             );
         }
         out.push('\n');
@@ -509,17 +557,18 @@ pub fn ablate_tail_family(minutes: f64, seed: u64) -> String {
     out
 }
 
-/// All four ablations.
-pub fn ablations(minutes: f64, seed: u64) -> String {
-    let mut out = String::new();
-    out += &ablate_dpc_discipline(minutes, seed);
-    out.push('\n');
-    out += &ablate_pit_frequency(minutes, seed);
-    out.push('\n');
-    out += &ablate_quantum(minutes, seed);
-    out.push('\n');
-    out += &ablate_tail_family(minutes, seed);
-    out
+/// All four ablations, fanned out over `threads` workers (0 = auto). Each
+/// ablation is a pair of independent simulations rendering to a String, so
+/// running them concurrently cannot change the joined output.
+pub fn ablations(minutes: f64, seed: u64, threads: usize) -> String {
+    let jobs: [fn(f64, u64) -> String; 4] = [
+        ablate_dpc_discipline,
+        ablate_pit_frequency,
+        ablate_quantum,
+        ablate_tail_family,
+    ];
+    let threads = crate::parallel::effective_threads(threads, jobs.len());
+    crate::parallel::parallel_map(jobs.len(), threads, |i| jobs[i](minutes, seed)).join("\n")
 }
 
 #[cfg(test)]
@@ -532,6 +581,7 @@ mod tests {
         let cfg = RunConfig {
             duration: Duration::Minutes(0.1),
             seed: 5,
+            threads: 0,
         };
         let cells = measure_all(&cfg);
         let t = throughput(&cells);
@@ -543,7 +593,7 @@ mod tests {
 
     #[test]
     fn ablations_render() {
-        let a = ablations(0.2, 5);
+        let a = ablations(0.2, 5, 0);
         assert!(a.contains("FIFO"));
         assert!(a.contains("1 kHz"));
         assert!(a.contains("quantum"));

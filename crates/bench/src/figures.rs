@@ -113,16 +113,15 @@ fn per_wait_frequency(m: &ScenarioMeasurement, threshold_ms: f64) -> f64 {
 pub fn figure5(cfg: &RunConfig) -> Figure5 {
     let hours = cfg.duration.hours_for(WorkloadKind::Business);
     let seed = cell_seed(cfg.seed, OsKind::Win98, WorkloadKind::Business) ^ 0xF16;
-    let without = measure_scenario(
-        OsKind::Win98,
-        WorkloadKind::Business,
-        seed,
-        hours,
-        &MeasureOptions::default(),
-    );
-    let mut opts = MeasureOptions::default();
-    opts.scenario.virus_scanner = true;
-    let with = measure_scenario(OsKind::Win98, WorkloadKind::Business, seed, hours, &opts);
+    // The two runs are independent simulations; fan them out.
+    let threads = crate::parallel::effective_threads(cfg.threads, 2);
+    let mut runs = crate::parallel::parallel_map(2, threads, |i| {
+        let mut opts = MeasureOptions::default();
+        opts.scenario.virus_scanner = i == 1;
+        measure_scenario(OsKind::Win98, WorkloadKind::Business, seed, hours, &opts)
+    });
+    let with = runs.pop().expect("two runs");
+    let without = runs.pop().expect("two runs");
     Figure5 { without, with }
 }
 
@@ -219,6 +218,7 @@ mod tests {
         RunConfig {
             duration: Duration::Minutes(0.05),
             seed: 5,
+            threads: 0,
         }
     }
 

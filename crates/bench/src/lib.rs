@@ -8,7 +8,11 @@
 //! - [`tables`] — Tables 1–4;
 //! - [`figures`] — Figures 4–7;
 //! - [`extras`] — the throughput check (§4.2), MTTF cross-validation
-//!   (§6.1), schedulability analysis (§5.2) and the DESIGN.md ablations.
+//!   (§6.1), schedulability analysis (§5.2) and the DESIGN.md ablations;
+//! - [`parallel`] — deterministic scoped-thread fan-out for independent
+//!   runs;
+//! - [`timing`] — the harness self-measurement artifact
+//!   (`BENCH_cells.json`).
 //!
 //! The `repro` binary is the CLI; the Criterion benches in `benches/` time
 //! the same harnesses.
@@ -17,6 +21,8 @@ pub mod cells;
 pub mod extras;
 pub mod figures;
 pub mod output;
+pub mod parallel;
 pub mod tables;
+pub mod timing;
 
-pub use cells::{measure_all, AllCells, Duration, RunConfig};
+pub use cells::{measure_all, measure_all_timed, AllCells, Duration, RunConfig, TimedCells};

@@ -3,67 +3,104 @@
 //! and Windows 98"* on the simulated substrate.
 //!
 //! ```text
-//! repro <artifact> [--minutes N | --full] [--seed S]
+//! repro <artifact> [--minutes N | --full] [--seed S] [--threads T] [--out DIR]
 //!
 //! artifacts:
 //!   table1 table2 table3 table4 figure4 figure5 figure6 figure7
-//!   throughput validate-mttf sched feasibility win2000 microbench interactive stability ablations all
+//!   throughput validate-mttf sched feasibility win2000 microbench
+//!   interactive stability ablations timing all
 //! ```
 //!
 //! `--full` collects for the paper's §3.1 durations (4–12.5 simulated hours
 //! per cell); the default is 2 simulated minutes per cell, which reproduces
-//! the shape but under-samples the weekly tails.
+//! the shape but under-samples the weekly tails. `--threads` fans
+//! independent runs out over worker threads (0 or omitted = one per core);
+//! output is byte-identical at any thread count.
 
 use wdm_bench::{
     cells::{measure_all, Duration, RunConfig},
-    extras, figures, output, tables,
+    extras, figures, output, tables, timing,
 };
+
+const USAGE: &str = "usage: repro <artifact> [--minutes N | --full] [--seed S] [--threads T] [--out DIR]
+
+artifacts:
+  table1 table2 table3 table4 figure4 figure5 figure6 figure7
+  throughput validate-mttf sched feasibility win2000 microbench
+  interactive stability ablations timing all
+
+options:
+  --minutes N   simulated minutes per cell (positive number; default 2)
+  --full        the paper's full per-workload collection times (\u{a7}3.1)
+  --seed S      base RNG seed (non-negative integer; default 1999)
+  --threads T   worker threads for independent runs (0 = one per core)
+  --out DIR     also write TSV/JSON artifacts into DIR";
+
+/// Reports a bad invocation and exits with status 2 (no panic backtrace).
+fn usage_error(msg: &str) -> ! {
+    eprintln!("repro: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Pulls the value of `--flag value`, failing with usage on a missing or
+/// malformed value.
+fn flag_value<T: std::str::FromStr>(args: &[String], i: &mut usize, what: &str) -> T {
+    *i += 1;
+    let raw = args
+        .get(*i)
+        .unwrap_or_else(|| usage_error(&format!("{what} requires a value")));
+    raw.parse().unwrap_or_else(|_| {
+        usage_error(&format!("invalid value '{raw}' for {what}"))
+    })
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut artifact = None;
     let mut duration = Duration::Minutes(2.0);
     let mut seed = 1999u64;
+    let mut threads = 0usize;
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--minutes" => {
-                i += 1;
-                let m = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .expect("--minutes requires a number");
+                let m: f64 = flag_value(&args, &mut i, "--minutes");
+                if !(m.is_finite() && m > 0.0) {
+                    usage_error("--minutes must be a positive number");
+                }
                 duration = Duration::Minutes(m);
             }
             "--full" => duration = Duration::FullCollection,
-            "--seed" => {
-                i += 1;
-                seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .expect("--seed requires an integer");
-            }
+            "--seed" => seed = flag_value(&args, &mut i, "--seed"),
+            "--threads" => threads = flag_value(&args, &mut i, "--threads"),
             "--out" => {
                 i += 1;
-                out_dir = Some(
-                    args.get(i)
-                        .map(std::path::PathBuf::from)
-                        .expect("--out requires a directory"),
-                );
+                let dir = args
+                    .get(i)
+                    .unwrap_or_else(|| usage_error("--out requires a directory"));
+                if dir.is_empty() || dir.starts_with('-') {
+                    usage_error(&format!("invalid directory '{dir}' for --out"));
+                }
+                out_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
             }
             a if !a.starts_with('-') && artifact.is_none() => {
                 artifact = Some(a.to_string());
             }
-            other => {
-                eprintln!("unknown argument: {other}");
-                std::process::exit(2);
-            }
+            other => usage_error(&format!("unknown argument: {other}")),
         }
         i += 1;
     }
     let artifact = artifact.unwrap_or_else(|| "all".to_string());
-    let cfg = RunConfig { duration, seed };
+    let cfg = RunConfig {
+        duration,
+        seed,
+        threads,
+    };
     let minutes = match duration {
         Duration::Minutes(m) => m,
         Duration::FullCollection => 30.0,
@@ -123,7 +160,27 @@ fn main() {
         "stability" => print!("{}", extras::stability(&cfg, 5)),
         "sched" => print!("{}", extras::sched(cells.unwrap())),
         "feasibility" => print!("{}", extras::feasibility(cells.unwrap())),
-        "ablations" => print!("{}", extras::ablations(minutes.min(5.0), seed)),
+        "ablations" => print!("{}", extras::ablations(minutes.min(5.0), seed, threads)),
+        "timing" => {
+            eprintln!(
+                "timing the 8-cell grid, serial vs {} threads ({duration:?}, seed {seed})...",
+                wdm_bench::parallel::effective_threads(threads, 8)
+            );
+            let r = timing::run(&cfg);
+            print!("{}", timing::render_summary(&r));
+            let json = timing::render_json(&cfg, &r);
+            println!("{json}");
+            if let Some(dir) = &out_dir {
+                std::fs::create_dir_all(dir).expect("create out dir");
+                let path = dir.join("BENCH_cells.json");
+                std::fs::write(&path, &json).expect("write BENCH_cells.json");
+                eprintln!("wrote {}", path.display());
+            }
+            if !r.identical {
+                eprintln!("error: parallel output differs from the serial reference");
+                std::process::exit(1);
+            }
+        }
         "all" => {
             let cells = cells.unwrap();
             let hr = "\n================================================================\n\n";
@@ -158,7 +215,7 @@ fn main() {
             print!("{hr}");
             print!("{}", extras::interactive(&cfg));
             print!("{hr}");
-            print!("{}", extras::ablations(minutes.min(5.0), seed));
+            print!("{}", extras::ablations(minutes.min(5.0), seed, threads));
             if let Some(dir) = &out_dir {
                 for f in output::write_figure4(cells, dir).expect("tsv") {
                     eprintln!("wrote {f}");
@@ -169,13 +226,6 @@ fn main() {
                 eprintln!("wrote {}", output::write_figure5(&f5, dir).expect("tsv"));
             }
         }
-        other => {
-            eprintln!(
-                "unknown artifact '{other}'; expected one of: table1 table2 table3 \
-                 table4 figure4 figure5 figure6 figure7 throughput validate-mttf \
-                 sched feasibility win2000 microbench interactive stability ablations all"
-            );
-            std::process::exit(2);
-        }
+        other => usage_error(&format!("unknown artifact '{other}'")),
     }
 }

@@ -156,6 +156,7 @@ mod tests {
         RunConfig {
             duration: Duration::Minutes(0.1),
             seed: 5,
+            threads: 0,
         }
     }
 
@@ -184,6 +185,7 @@ mod tests {
         let cfg = RunConfig {
             duration: Duration::Minutes(1.0),
             seed: 11,
+            threads: 0,
         };
         let t = table4(&cfg);
         assert!(t.contains("episodes captured"));

@@ -1,0 +1,170 @@
+//! The `repro timing` artifact: harness self-measurement.
+//!
+//! Runs the 8-cell grid twice — once on a single worker as the serial
+//! reference, once fanned out over the requested worker count — verifies
+//! the two runs are observably identical (see
+//! [`crate::cells::summary_digest`]), and emits a `BENCH_cells.json`
+//! report with per-cell wall-clock cost, total wall clock for both runs,
+//! the measured speedup and the simulator event rate.
+
+use crate::cells::{measure_all_timed, summary_digest, RunConfig, TimedCells};
+
+/// Everything the `timing` artifact measured.
+pub struct TimingReport {
+    /// Serial (1-worker) reference run.
+    pub serial: TimedCells,
+    /// Parallel run at the requested thread count.
+    pub parallel: TimedCells,
+    /// Whether both runs produced identical summaries (they must).
+    pub identical: bool,
+}
+
+impl TimingReport {
+    /// Serial wall clock over parallel wall clock.
+    pub fn speedup(&self) -> f64 {
+        self.serial.total_wall_s / self.parallel.total_wall_s.max(1e-9)
+    }
+}
+
+/// Runs the grid serially and in parallel and compares the outputs.
+pub fn run(cfg: &RunConfig) -> TimingReport {
+    let serial = measure_all_timed(&RunConfig {
+        threads: 1,
+        ..*cfg
+    });
+    let parallel = measure_all_timed(cfg);
+    let digests = |t: &TimedCells| -> Vec<String> {
+        t.cells
+            .nt
+            .iter()
+            .chain(&t.cells.win98)
+            .map(summary_digest)
+            .collect()
+    };
+    let identical = digests(&serial) == digests(&parallel);
+    TimingReport {
+        serial,
+        parallel,
+        identical,
+    }
+}
+
+/// Renders the report as the `BENCH_cells.json` document.
+pub fn render_json(cfg: &RunConfig, r: &TimingReport) -> String {
+    let mut cells = String::new();
+    for (i, t) in r.parallel.timings.iter().enumerate() {
+        if i > 0 {
+            cells.push_str(",\n");
+        }
+        cells.push_str(&format!(
+            "    {{\"os\": {}, \"workload\": {}, \"wall_s\": {}, \"sim_events\": {}, \
+             \"events_per_sec\": {}}}",
+            json_str(t.os.name()),
+            json_str(t.workload.name()),
+            json_f64(t.wall_s),
+            t.sim_events,
+            json_f64(t.sim_events as f64 / t.wall_s.max(1e-9))
+        ));
+    }
+    let total_events: u64 = r.parallel.timings.iter().map(|t| t.sim_events).sum();
+    format!(
+        "{{\n  \"artifact\": \"BENCH_cells\",\n  \"duration\": {},\n  \"seed\": {},\n  \
+         \"threads\": {},\n  \"serial_wall_s\": {},\n  \"parallel_wall_s\": {},\n  \
+         \"speedup\": {},\n  \"identical\": {},\n  \"total_sim_events\": {},\n  \
+         \"events_per_sec\": {},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        json_str(&format!("{:?}", cfg.duration)),
+        cfg.seed,
+        r.parallel.threads,
+        json_f64(r.serial.total_wall_s),
+        json_f64(r.parallel.total_wall_s),
+        json_f64(r.speedup()),
+        r.identical,
+        total_events,
+        json_f64(total_events as f64 / r.parallel.total_wall_s.max(1e-9)),
+        cells
+    )
+}
+
+/// Renders a human-readable summary for stdout alongside the JSON.
+pub fn render_summary(r: &TimingReport) -> String {
+    let mut out = format!(
+        "Harness timing: 8 cells, serial {:.2} s vs {} threads {:.2} s \
+         ({:.2}x speedup), outputs {}\n\n",
+        r.serial.total_wall_s,
+        r.parallel.threads,
+        r.parallel.total_wall_s,
+        r.speedup(),
+        if r.identical {
+            "identical"
+        } else {
+            "DIFFERENT (BUG)"
+        }
+    );
+    out += &format!(
+        "{:<16}{:<18}{:>10}{:>16}{:>14}\n",
+        "OS", "workload", "wall s", "sim events", "events/s"
+    );
+    for t in &r.parallel.timings {
+        out += &format!(
+            "{:<16}{:<18}{:>10.2}{:>16}{:>14.0}\n",
+            t.os.name(),
+            t.workload.name(),
+            t.wall_s,
+            t.sim_events,
+            t.sim_events as f64 / t.wall_s.max(1e-9)
+        );
+    }
+    out
+}
+
+/// Minimal JSON string escaping (names here are plain ASCII).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite f64 to JSON number (wall clocks and rates are always finite).
+fn json_f64(x: f64) -> String {
+    debug_assert!(x.is_finite());
+    format!("{x:.6}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::Duration;
+
+    #[test]
+    fn timing_report_runs_and_renders() {
+        let cfg = RunConfig {
+            duration: Duration::Minutes(0.02),
+            seed: 5,
+            threads: 2,
+        };
+        let r = run(&cfg);
+        assert!(r.identical, "serial and parallel summaries must match");
+        assert_eq!(r.parallel.timings.len(), 8);
+        let json = render_json(&cfg, &r);
+        assert!(json.contains("\"artifact\": \"BENCH_cells\""));
+        assert!(json.contains("\"identical\": true"));
+        assert!(json.contains("\"threads\": 2"));
+        assert_eq!(json.matches("\"workload\":").count(), 8);
+        let text = render_summary(&r);
+        assert!(text.contains("identical"));
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+}

@@ -1,0 +1,64 @@
+//! Parallel-harness determinism: the measurement grid must be observably
+//! identical at any worker count.
+//!
+//! Every run seeds from its cell alone (`cell_seed`), so fanning the grid
+//! out over scoped worker threads must not change a single statistic. The
+//! digest compares everything the renderers can observe: per-series sample
+//! counts, per-bin counts, and exact (bit-level) min/max/mean.
+
+use wdm_bench::cells::{measure_all_timed, summary_digest, Duration, RunConfig};
+
+fn grid_digests(threads: usize) -> Vec<String> {
+    let cfg = RunConfig {
+        duration: Duration::Minutes(0.05),
+        seed: 1999,
+        threads,
+    };
+    let t = measure_all_timed(&cfg);
+    assert_eq!(t.cells.nt.len(), 4, "NT cells in workload order");
+    assert_eq!(t.cells.win98.len(), 4, "Win98 cells in workload order");
+    assert_eq!(t.timings.len(), 8);
+    t.cells
+        .nt
+        .iter()
+        .chain(&t.cells.win98)
+        .map(summary_digest)
+        .collect()
+}
+
+#[test]
+fn cell_grid_is_identical_across_thread_counts() {
+    let serial = grid_digests(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            grid_digests(threads),
+            serial,
+            "grid summaries diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn auto_thread_count_matches_serial() {
+    assert_eq!(grid_digests(0), grid_digests(1));
+}
+
+#[test]
+fn digests_are_sensitive_to_the_seed() {
+    // Guard against a vacuous digest: a different seed must change it.
+    let a = grid_digests(1);
+    let cfg = RunConfig {
+        duration: Duration::Minutes(0.05),
+        seed: 2000,
+        threads: 1,
+    };
+    let t = measure_all_timed(&cfg);
+    let b: Vec<String> = t
+        .cells
+        .nt
+        .iter()
+        .chain(&t.cells.win98)
+        .map(summary_digest)
+        .collect();
+    assert_ne!(a, b, "digest must reflect the measured data");
+}

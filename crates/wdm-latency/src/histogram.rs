@@ -57,10 +57,11 @@ impl LatencyHistogram {
     /// Records one latency sample.
     pub fn record_ms(&mut self, ms: f64) {
         debug_assert!(ms >= 0.0 && ms.is_finite(), "latency must be finite");
-        let idx = match self.edges_ms.iter().position(|&e| ms <= e) {
-            Some(i) => i,
-            None => self.edges_ms.len(), // Overflow bin.
-        };
+        // Binary search for the first edge >= ms; `edges.len()` (the
+        // overflow bin) when all edges are below the sample. Equivalent to
+        // a linear `position(|&e| ms <= e)` scan, but O(log bins) on the
+        // per-sample hot path.
+        let idx = self.edges_ms.partition_point(|&e| e < ms);
         self.counts[idx] += 1;
         self.count += 1;
         self.sum_ms += ms;
@@ -316,5 +317,86 @@ mod tests {
         let mut h = LatencyHistogram::fig4();
         h.record_cycles(Cycles(300_000), 300_000_000); // 1 ms
         assert_eq!(h.counts()[3], 1); // (0.5, 1.0] bin
+    }
+
+    #[test]
+    fn every_exact_edge_lands_in_its_own_bin() {
+        // Bin i covers (edges[i-1], edges[i]]: a sample exactly on an edge
+        // belongs to that edge's bin, never the next one.
+        let mut h = LatencyHistogram::fig4();
+        for &e in &FIG4_EDGES_MS {
+            h.record_ms(e);
+        }
+        for (i, &c) in h.counts().iter().enumerate() {
+            let expected = u64::from(i < FIG4_EDGES_MS.len());
+            assert_eq!(c, expected, "bin {i}");
+        }
+        assert_eq!(h.count(), FIG4_EDGES_MS.len() as u64);
+    }
+
+    #[test]
+    fn binning_matches_linear_scan_reference() {
+        // The partition_point binning must agree with the naive linear
+        // scan it replaced, including just-below/just-above edge samples,
+        // zero and the overflow region.
+        let edges = FIG4_EDGES_MS;
+        let mut samples = vec![0.0, 1e-12, 127.999, 128.0, 128.001, 1e6];
+        for &e in &edges {
+            samples.extend([e * (1.0 - 1e-12), e, e * (1.0 + 1e-12)]);
+        }
+        for ms in samples {
+            let mut h = LatencyHistogram::fig4();
+            h.record_ms(ms);
+            let reference = edges
+                .iter()
+                .position(|&e| ms <= e)
+                .unwrap_or(edges.len());
+            assert_eq!(h.counts()[reference], 1, "sample {ms}");
+            assert_eq!(h.count(), 1);
+        }
+    }
+
+    #[test]
+    fn overflow_bin_catches_everything_above_the_last_edge() {
+        let mut h = LatencyHistogram::fig4();
+        h.record_ms(128.0); // exactly the last edge: last real bin
+        h.record_ms(128.0000001); // just above: overflow
+        h.record_ms(1e9); // far above: overflow
+        let last = FIG4_EDGES_MS.len() - 1;
+        assert_eq!(h.counts()[last], 1);
+        assert_eq!(h.counts()[last + 1], 2);
+        assert_eq!(h.max_ms(), 1e9);
+    }
+
+    #[test]
+    fn zero_sample_lands_in_the_underflow_bin() {
+        let mut h = LatencyHistogram::fig4();
+        h.record_ms(0.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.min_ms(), 0.0);
+    }
+
+    #[test]
+    fn record_cycles_round_trips_each_bin_edge() {
+        // Cycles -> ms -> bin must hit the same bin as recording the edge
+        // value directly, at a realistic clock rate.
+        let cpu_hz = 300_000_000u64;
+        for (i, &e) in FIG4_EDGES_MS.iter().enumerate() {
+            let cycles = Cycles((e * cpu_hz as f64 / 1e3) as u64);
+            let mut by_cycles = LatencyHistogram::fig4();
+            by_cycles.record_cycles(cycles, cpu_hz);
+            let mut by_ms = LatencyHistogram::fig4();
+            by_ms.record_ms(cycles.as_ms_at(cpu_hz));
+            assert_eq!(by_cycles.counts(), by_ms.counts(), "edge {i} ({e} ms)");
+        }
+    }
+
+    #[test]
+    fn single_bin_histogram_degenerates_cleanly() {
+        let mut h = LatencyHistogram::with_edges(&[1.0]);
+        h.record_ms(0.5); // bin 0
+        h.record_ms(1.0); // bin 0 (inclusive edge)
+        h.record_ms(2.0); // overflow
+        assert_eq!(h.counts(), &[2, 1]);
     }
 }

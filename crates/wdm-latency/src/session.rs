@@ -64,6 +64,9 @@ pub struct ScenarioMeasurement {
     pub waits_24: u64,
     /// Number of waits the priority-28 measurement thread completed.
     pub waits_28: u64,
+    /// Simulator decision-loop iterations the run executed (the bench
+    /// harness reports this as events/sec in its timing artifact).
+    pub sim_events: u64,
 }
 
 /// Extra knobs for a measurement run.
@@ -149,6 +152,7 @@ pub fn measure_scenario(
         episodes,
         waits_24: scenario.kernel.thread(session.rt24.thread).waits_satisfied,
         waits_28: scenario.kernel.thread(session.rt28.thread).waits_satisfied,
+        sim_events: scenario.kernel.sim_events,
     }
 }
 

@@ -155,7 +155,10 @@ pub struct Kernel {
     current_thread: Option<ThreadId>,
     frames: Vec<Frame>,
     pending_sections: VecDeque<(Cycles, Label)>,
-    env: Vec<EnvSource>,
+    /// Environment sources. Always `Some` except transiently inside
+    /// [`Kernel::fire_env`], which takes the slot to split borrows without
+    /// allocating a placeholder source per arrival.
+    env: Vec<Option<EnvSource>>,
     heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
     heap_seq: u64,
     observers: Vec<Rc<RefCell<dyn Observer>>>,
@@ -167,6 +170,16 @@ pub struct Kernel {
     pub context_switches: u64,
     /// Timed waits that expired.
     pub wait_timeouts: u64,
+    /// Busy chunks that were charged more cycles than they had remaining.
+    /// Always zero in a correct run; debug builds also assert on it.
+    pub busy_overruns: u64,
+    /// Decision-loop iterations executed by [`Kernel::run_until`]. A cheap
+    /// proxy for simulation work, reported as events/sec by the bench
+    /// harness timing artifact.
+    pub sim_events: u64,
+    /// Reusable buffer for threads released by a signal; kept empty
+    /// between signals so SetEvent/ReleaseSemaphore never allocate.
+    wake_scratch: Vec<ThreadId>,
 }
 
 impl Kernel {
@@ -214,6 +227,9 @@ impl Kernel {
             account: CycleAccount::default(),
             context_switches: 0,
             wait_timeouts: 0,
+            busy_overruns: 0,
+            sim_events: 0,
+            wake_scratch: Vec::new(),
         }
     }
 
@@ -350,7 +366,7 @@ impl Kernel {
     pub fn add_env_source(&mut self, mut src: EnvSource) -> SourceId {
         let gap = src.next_gap(&mut self.rng);
         let id = SourceId(self.env.len());
-        self.env.push(src);
+        self.env.push(Some(src));
         self.schedule_env(id.0, self.now + gap);
         id
     }
@@ -358,7 +374,7 @@ impl Kernel {
     /// Enables or disables an environment source (Figure 5 toggles the
     /// virus scanner this way).
     pub fn set_source_enabled(&mut self, id: SourceId, enabled: bool) {
-        self.env[id.0].enabled = enabled;
+        self.env[id.0].as_mut().expect("source in flight").enabled = enabled;
     }
 
     /// Creates an IRP with an `asb_len`-slot system buffer.
@@ -426,7 +442,7 @@ impl Kernel {
 
     /// Read access to an environment source.
     pub fn env_source(&self, id: SourceId) -> &EnvSource {
-        &self.env[id.0]
+        self.env[id.0].as_ref().expect("source in flight")
     }
 
     /// Read access to the interrupt controller.
@@ -477,6 +493,7 @@ impl Kernel {
     /// Runs the simulation until an absolute time.
     pub fn run_until(&mut self, t_end: Instant) {
         while self.now < t_end {
+            self.sim_events += 1;
             // Deliver hardware events that are due.
             self.fire_due_events();
             // Materialize what the CPU runs next; returns the absolute time
@@ -539,18 +556,15 @@ impl Kernel {
 
     fn fire_env(&mut self, idx: usize) {
         let now = self.now;
-        // Apply the action (only when enabled), then reschedule.
-        if self.env[idx].enabled {
-            self.env[idx].fire_count += 1;
-            // Split borrows: temporarily take the action.
-            let mut src = std::mem::replace(
-                &mut self.env[idx],
-                EnvSource::new(
-                    "placeholder",
-                    crate::env::samplers::fixed(Cycles(1)),
-                    EnvAction::AssertInterrupt(VectorId(0)),
-                ),
-            );
+        // Apply the action (only when enabled), then reschedule. The slot
+        // is taken (not swapped with a freshly built placeholder source) to
+        // split borrows without a per-arrival String + closure allocation;
+        // every path below restores it before drawing the next gap, so the
+        // RNG call order is identical to the old swap-based code.
+        let fire = self.env[idx].as_ref().expect("source in flight").enabled;
+        if fire {
+            let mut src = self.env[idx].take().expect("source in flight");
+            src.fire_count += 1;
             match &mut src.action {
                 EnvAction::Cli { duration, label } => {
                     let d = duration(&mut self.rng);
@@ -566,25 +580,31 @@ impl Kernel {
                 }
                 EnvAction::SetEvent(e) => {
                     let e = *e;
-                    self.env[idx] = src;
+                    self.env[idx] = Some(src);
                     self.do_set_event(e);
-                    let gap = self.env[idx].next_gap(&mut self.rng);
+                    let gap = self.next_env_gap(idx);
                     self.schedule_env(idx, now + gap);
                     return;
                 }
                 EnvAction::ReleaseSemaphore(s, n) => {
                     let (s, n) = (*s, *n);
-                    self.env[idx] = src;
+                    self.env[idx] = Some(src);
                     self.do_release_semaphore(s, n);
-                    let gap = self.env[idx].next_gap(&mut self.rng);
+                    let gap = self.next_env_gap(idx);
                     self.schedule_env(idx, now + gap);
                     return;
                 }
             }
-            self.env[idx] = src;
+            self.env[idx] = Some(src);
         }
-        let gap = self.env[idx].next_gap(&mut self.rng);
+        let gap = self.next_env_gap(idx);
         self.schedule_env(idx, now + gap);
+    }
+
+    /// Draws the next inter-arrival gap for a source (split-borrow helper).
+    fn next_env_gap(&mut self, idx: usize) -> Cycles {
+        let src = self.env[idx].as_mut().expect("source in flight");
+        src.next_gap(&mut self.rng)
     }
 
     /// Pushes an interrupt-disabled window on top of whatever runs.
@@ -609,7 +629,10 @@ impl Kernel {
         // Identify the active busy chunk: top frame or current thread.
         if let Some(top) = self.frames.last_mut() {
             if let ExecState::Busy { remaining, label } = &mut top.exec {
-                debug_assert!(*remaining >= delta, "frame busy overrun");
+                if *remaining < delta {
+                    debug_assert!(false, "frame busy overrun");
+                    self.busy_overruns += 1;
+                }
                 *remaining = remaining.saturating_sub(delta);
                 self.current_label = *label;
                 match top.kind {
@@ -626,7 +649,10 @@ impl Kernel {
         } else if let Some(t) = self.current_thread {
             let tcb = &mut self.threads[t.0];
             if let ExecState::Busy { remaining, label } = &mut tcb.exec {
-                debug_assert!(*remaining >= delta, "thread busy overrun");
+                if *remaining < delta {
+                    debug_assert!(false, "thread busy overrun");
+                    self.busy_overruns += 1;
+                }
                 *remaining = remaining.saturating_sub(delta);
                 self.current_label = *label;
                 if !tcb.in_overhead {
@@ -1329,8 +1355,11 @@ impl Kernel {
                     return ThreadOutcome::Changed;
                 }
                 Step::WaitAny(set) => {
-                    // Try each member in order without blocking.
-                    let objects = self.wait_sets[set.0].clone();
+                    // Try each member in order without blocking. Take the
+                    // set instead of cloning it per wait: `try_acquire`
+                    // never touches `wait_sets`, so the slot is restored
+                    // untouched after the scan.
+                    let objects = std::mem::take(&mut self.wait_sets[set.0]);
                     let mut satisfied = None;
                     for (i, obj) in objects.iter().enumerate() {
                         if self.try_acquire(*obj, t) {
@@ -1338,6 +1367,7 @@ impl Kernel {
                             break;
                         }
                     }
+                    self.wait_sets[set.0] = objects;
                     if let Some(i) = satisfied {
                         let tcb = &mut self.threads[t.0];
                         tcb.waits_satisfied += 1;
@@ -1483,10 +1513,13 @@ impl Kernel {
             tcb.wait_set = Some(set);
             tcb.wait_deadline = None;
         }
-        let objects = self.wait_sets[set.0].clone();
-        for obj in objects {
+        // Take the set instead of cloning it per block: `enqueue_waiter`
+        // never touches `wait_sets`.
+        let objects = std::mem::take(&mut self.wait_sets[set.0]);
+        for &obj in &objects {
             self.enqueue_waiter(obj, t);
         }
+        self.wait_sets[set.0] = objects;
         self.current_thread = None;
         self.resched = true;
     }
@@ -1538,27 +1571,41 @@ impl Kernel {
                 if let Some(e) = self.irps[irp.0].completion_event {
                     self.do_set_event(e);
                 }
-                let obs = self.observers.clone();
-                for o in obs {
+                // Take the list instead of cloning every Rc per completion;
+                // observers have no kernel handle, so the list cannot
+                // change under the loop. Merge-restore anyway for safety.
+                let mut obs = std::mem::take(&mut self.observers);
+                for o in &obs {
                     o.borrow_mut().on_irp_complete(irp, &self.board, now);
                 }
+                obs.append(&mut self.observers);
+                self.observers = obs;
             }
             other => unreachable!("apply_service_step got {other:?}"),
         }
     }
 
     fn do_set_event(&mut self, e: EventId) {
-        let released = self.events[e.0].set();
-        for t in released {
+        // Take the scratch buffer so ready_thread_from (which may signal
+        // nothing further, but could in principle re-enter) sees an empty
+        // field; release order is unchanged from the allocating version.
+        let mut released = std::mem::take(&mut self.wake_scratch);
+        self.events[e.0].set_into(&mut released);
+        for &t in &released {
             self.ready_thread_from(t, Some(WaitObject::Event(e)));
         }
+        released.clear();
+        self.wake_scratch = released;
     }
 
     fn do_release_semaphore(&mut self, s: SemId, n: u32) {
-        let released = self.sems[s.0].release(n);
-        for t in released {
+        let mut released = std::mem::take(&mut self.wake_scratch);
+        self.sems[s.0].release_into(n, &mut released);
+        for &t in &released {
             self.ready_thread_from(t, Some(WaitObject::Semaphore(s)));
         }
+        released.clear();
+        self.wake_scratch = released;
     }
 
     fn do_release_mutex(&mut self, m: MutexId, owner: ThreadId) {
@@ -1580,16 +1627,19 @@ impl Kernel {
         // A WaitAny sleeper is enqueued on every set member: unlink from
         // the ones that did not fire and record the satisfying index.
         if let Some(set) = self.threads[t.0].wait_set.take() {
-            let objects = self.wait_sets[set.0].clone();
+            // Take the set instead of cloning it per wake: `dequeue_waiter`
+            // never touches `wait_sets`.
+            let objects = std::mem::take(&mut self.wait_sets[set.0]);
             let index = waker
                 .and_then(|w| objects.iter().position(|&o| o == w))
                 .unwrap_or(0);
             self.threads[t.0].last_wait_index = index;
-            for (i, obj) in objects.into_iter().enumerate() {
+            for (i, &obj) in objects.iter().enumerate() {
                 if waker.map(|_| i) != Some(index) || waker.is_none() {
                     self.dequeue_waiter(obj, t);
                 }
             }
+            self.wait_sets[set.0] = objects;
         }
         let boost = self.config.dynamic_boost;
         let tcb = &mut self.threads[t.0];
@@ -1664,10 +1714,13 @@ impl Kernel {
         }
         self.current_thread = Some(next);
         self.context_switches += 1;
-        let obs = self.observers.clone();
-        for o in obs {
+        // See `notify` for why taking (not cloning) the list is sound.
+        let mut obs = std::mem::take(&mut self.observers);
+        for o in &obs {
             o.borrow_mut().on_context_switch(from, next, now);
         }
+        obs.append(&mut self.observers);
+        self.observers = obs;
     }
 
     // --------------------------------------------------------------
@@ -1693,9 +1746,11 @@ impl Kernel {
                 let importance = self.dpcs[d.0].importance;
                 self.dpc_queue.insert(d, importance, now);
             }
-            // Wake timer waiters (notification semantics).
-            let waiters: Vec<ThreadId> = self.timers[i].waiters.drain(..).collect();
-            for t in waiters {
+            // Wake timer waiters (notification semantics). Popping one at
+            // a time instead of draining into a fresh Vec per expiry is
+            // equivalent: `ready_thread` only ever unlinks the thread it
+            // wakes, so it cannot reorder or re-enqueue the remainder.
+            while let Some(t) = self.timers[i].waiters.pop_front() {
                 self.ready_thread(t);
             }
         }
@@ -1728,11 +1783,17 @@ impl Kernel {
         }
     }
 
+    /// Invokes `f` on every observer without cloning the `Vec<Rc<_>>` per
+    /// event. Observers hold no kernel handle (`add_observer` needs
+    /// `&mut Kernel`), so no callback can mutate the list mid-iteration;
+    /// the take/merge-restore keeps even that hypothetical sound.
     fn notify<E, F: Fn(&mut dyn Observer, &E)>(&mut self, f: F, e: &E) {
-        let obs = self.observers.clone();
-        for o in obs {
+        let mut obs = std::mem::take(&mut self.observers);
+        for o in &obs {
             f(&mut *o.borrow_mut(), e);
         }
+        obs.append(&mut self.observers);
+        self.observers = obs;
     }
 }
 

@@ -42,27 +42,35 @@ impl KEvent {
         }
     }
 
-    /// Signals the event, returning the threads released by the signal.
+    /// Signals the event, appending the threads released by the signal to
+    /// `released` (a caller-owned scratch buffer, so the per-signal hot
+    /// path never allocates).
     ///
     /// A synchronization event releases at most one waiter (and stays
     /// non-signaled if it released one); a notification event releases all
     /// waiters and remains signaled.
-    pub fn set(&mut self) -> Vec<ThreadId> {
+    pub fn set_into(&mut self, released: &mut Vec<ThreadId>) {
         match self.kind {
             EventKind::Synchronization => {
                 if let Some(t) = self.waiters.pop_front() {
                     self.signaled = false;
-                    vec![t]
+                    released.push(t);
                 } else {
                     self.signaled = true;
-                    Vec::new()
                 }
             }
             EventKind::Notification => {
                 self.signaled = true;
-                self.waiters.drain(..).collect()
+                released.extend(self.waiters.drain(..));
             }
         }
+    }
+
+    /// [`Self::set_into`] returning a fresh vector (test convenience).
+    pub fn set(&mut self) -> Vec<ThreadId> {
+        let mut released = Vec::new();
+        self.set_into(&mut released);
+        released
     }
 
     /// Resets the event to non-signaled.
@@ -206,10 +214,11 @@ impl KSemaphore {
         }
     }
 
-    /// Releases the semaphore by `n`, returning the threads released.
-    pub fn release(&mut self, n: u32) -> Vec<ThreadId> {
+    /// Releases the semaphore by `n`, appending the threads released to
+    /// `released` (a caller-owned scratch buffer, so the per-release hot
+    /// path never allocates).
+    pub fn release_into(&mut self, n: u32, released: &mut Vec<ThreadId>) {
         let mut budget = n.min(self.limit - self.count + self.waiters.len() as u32);
-        let mut released = Vec::new();
         while budget > 0 {
             match self.waiters.pop_front() {
                 Some(t) => {
@@ -220,6 +229,12 @@ impl KSemaphore {
             }
         }
         self.count = (self.count + budget).min(self.limit);
+    }
+
+    /// [`Self::release_into`] returning a fresh vector (test convenience).
+    pub fn release(&mut self, n: u32) -> Vec<ThreadId> {
+        let mut released = Vec::new();
+        self.release_into(n, &mut released);
         released
     }
 

@@ -1,0 +1,233 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of criterion the workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`BatchSize`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Differences from upstream, deliberately accepted: no statistical analysis,
+//! outlier detection, plots or saved baselines. Each bench runs a short
+//! warm-up, then `sample_size` timed samples, and prints the per-iteration
+//! minimum / median / mean to stdout. That is enough to compare hot-path
+//! costs across commits by eye, which is all this workspace needs.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can `criterion::black_box` if they prefer.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The stand-in runs one setup per
+/// routine invocation regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Inputs sized per routine call.
+    PerIteration,
+}
+
+/// The timing harness handed to each registered bench function.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each bench collects.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up period run before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up = d;
+        self
+    }
+
+    /// Runs one named benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Collects timed samples for one benchmark routine.
+pub struct Bencher {
+    /// Per-iteration durations in nanoseconds.
+    samples: Vec<f64>,
+    sample_size: usize,
+    warm_up: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and pick an iteration count targeting ~10ms per sample.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let iters = ((0.010 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples
+                .push(t.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm up once so lazy initialisation doesn't pollute the samples.
+        let warm_until = Instant::now() + self.warm_up.min(Duration::from_millis(50));
+        loop {
+            let input = setup();
+            black_box(routine(input));
+            if Instant::now() >= warm_until {
+                break;
+            }
+        }
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        assert!(
+            !self.samples.is_empty(),
+            "bench {name} never called iter/iter_batched"
+        );
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        let min = self.samples[0];
+        let median = self.samples[self.samples.len() / 2];
+        let mean: f64 = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        println!(
+            "{name:<44} min {:>12} median {:>12} mean {:>12}",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a bench group: a shared `Criterion` config plus target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running each group (benches use `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("test/iter", |b| b.iter(|| black_box(1u64 + 1)));
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("test/iter_batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    criterion_group! {
+        name = group_smoke;
+        config = Criterion::default().sample_size(2).warm_up_time(Duration::from_millis(1));
+        targets = smoke_target
+    }
+
+    fn smoke_target(c: &mut Criterion) {
+        c.bench_function("test/group", |b| b.iter(|| black_box(2u32 * 2)));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        group_smoke();
+    }
+}

@@ -1,0 +1,152 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//! the [`proptest!`] macro, range/tuple/`Just`/`prop_map`/`prop_oneof!`
+//! strategies, `prop::collection::vec` and `prop::bool::ANY`, plus the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case panics with the generated inputs'
+//!   `Debug` unavailable; rerun with `PROPTEST_CASES` and the fixed
+//!   deterministic stream to reproduce.
+//! - **Deterministic by construction.** Each test function derives its RNG
+//!   stream from the test name and case index, so failures are stable
+//!   across runs and machines.
+//! - Case count defaults to 64 (override with `PROPTEST_CASES`).
+
+use rand::{rngs::StdRng, SeedableRng};
+
+pub mod strategy;
+
+/// Builds the deterministic generator for one test case.
+pub fn test_rng(test_name: &str, case: u64) -> StdRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h = 0xcbf29ce484222325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E3779B97F4A7C15))
+}
+
+/// Number of cases to run per property (env `PROPTEST_CASES`, default 64).
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// The `prop` path exposed by the prelude (`prop::collection::vec`, …).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        pub use crate::strategy::{AnyBool, ANY};
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each `arg in strategy` binding is generated
+/// fresh per case; the body runs [`case_count()`] times.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::case_count();
+                for __case in 0..__cases {
+                    let mut __rng = $crate::test_rng(stringify!($name), __case);
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Op {
+        A(u8),
+        B,
+    }
+
+    proptest! {
+        /// The macro wires up bindings, ranges, tuples, maps and oneof.
+        #[test]
+        fn macro_generates_all_strategy_shapes(
+            x in 0u8..40,
+            y in 1u8..=31,
+            v in prop::collection::vec((0usize..12, prop::bool::ANY), 1..60),
+            f in 0.5f64..2.0,
+            op in prop_oneof![
+                (0u8..10).prop_map(Op::A),
+                Just(Op::B),
+            ],
+        ) {
+            prop_assert!(x < 40);
+            prop_assert!((1..=31).contains(&y));
+            prop_assert!(!v.is_empty() && v.len() < 60);
+            for &(n, _b) in &v {
+                prop_assert!(n < 12);
+            }
+            prop_assert!((0.5..2.0).contains(&f));
+            match op {
+                Op::A(n) => prop_assert!(n < 10),
+                Op::B => {}
+            }
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_name_and_case() {
+        use rand::RngCore;
+        let mut a = crate::test_rng("t", 3);
+        let mut b = crate::test_rng("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_rng("t", 4);
+        assert_ne!(crate::test_rng("t", 3).next_u64(), c.next_u64());
+    }
+}
