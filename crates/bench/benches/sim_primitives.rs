@@ -314,6 +314,75 @@ fn bench_timer_expiry_steady_state(c: &mut Criterion) {
     });
 }
 
+/// A kernel whose every tick does one unit of real timer work (a 1 ms
+/// periodic DPC timer), optionally loaded with a thousand armed far-future
+/// timers and a thousand far-future sleepers that must cost nothing.
+fn calendar_load_kernel(loaded: bool) -> Kernel {
+    let mut k = Kernel::new(KernelConfig::default());
+    let dpc = k.create_dpc(
+        "tick-dpc",
+        DpcImportance::Medium,
+        Box::new(OpSeq::new(vec![Step::Return])),
+    );
+    let active = k.create_timer(Some(dpc));
+    k.set_timer(active, Cycles::from_ms(1.0), Some(Cycles::from_ms(1.0)));
+    if loaded {
+        // An hour out: armed for the whole measurement, never due.
+        let far = Cycles::from_ms(3_600_000.0);
+        for _ in 0..1000 {
+            let t = k.create_timer(None);
+            k.set_timer(t, far, None);
+        }
+        for i in 0..1000 {
+            k.create_thread(
+                &format!("far-sleeper-{i}"),
+                4,
+                Box::new(OpSeq::new(vec![Step::Sleep(far)])),
+            );
+        }
+    }
+    k
+}
+
+/// The event calendar's core contract: clock-tick cost scales with *due*
+/// events only. A thousand armed far-future timers plus a thousand
+/// far-future sleepers must not add a single unit of tick work — the
+/// kernel's `calendar_tick_work` counter (heap pops, stale skips and
+/// due-count visits) proves it exactly, and the paired Criterion timings
+/// expose any wall-clock regression.
+fn bench_calendar_tick_independence(c: &mut Criterion) {
+    let mut base = calendar_load_kernel(false);
+    let mut loaded = calendar_load_kernel(true);
+    base.run_for(Cycles::from_ms(200.0));
+    loaded.run_for(Cycles::from_ms(200.0));
+    let start = (base.calendar_tick_work(), loaded.calendar_tick_work());
+    base.run_for(Cycles::from_ms(1_000.0));
+    loaded.run_for(Cycles::from_ms(1_000.0));
+    let base_work = base.calendar_tick_work() - start.0;
+    let loaded_work = loaded.calendar_tick_work() - start.1;
+    assert!(base_work > 0, "the periodic timer must generate tick work");
+    assert_eq!(
+        base_work, loaded_work,
+        "non-due calendar entries leaked into clock-tick work"
+    );
+    eprintln!(
+        "  tick-work check: {base_work} due-entry visits per simulated second, \
+         identical with 1000 idle timers + 1000 idle sleepers armed"
+    );
+    c.bench_function("sim/calendar_tick_base_1s", |b| {
+        b.iter(|| {
+            base.run_for(Cycles::from_ms(1_000.0));
+            std::hint::black_box(base.sim_events)
+        })
+    });
+    c.bench_function("sim/calendar_tick_loaded_1s", |b| {
+        b.iter(|| {
+            loaded.run_for(Cycles::from_ms(1_000.0));
+            std::hint::black_box(loaded.sim_events)
+        })
+    });
+}
+
 /// Histogram recording throughput.
 fn bench_histogram(c: &mut Criterion) {
     c.bench_function("latency/histogram_record_100k", |b| {
@@ -333,6 +402,6 @@ criterion_group! {
     targets = bench_idle_kernel, bench_measured_kernel, bench_games_cell,
               bench_event_roundtrip, bench_notify_steady_state,
               bench_waitany_steady_state, bench_timer_expiry_steady_state,
-              bench_histogram
+              bench_calendar_tick_independence, bench_histogram
 }
 criterion_main!(benches);

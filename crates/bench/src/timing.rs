@@ -52,18 +52,30 @@ pub fn run(cfg: &RunConfig) -> TimingReport {
 /// Renders the report as the `BENCH_cells.json` document.
 pub fn render_json(cfg: &RunConfig, r: &TimingReport) -> String {
     let mut cells = String::new();
-    for (i, t) in r.parallel.timings.iter().enumerate() {
+    for (i, (t, s)) in r.parallel.timings.iter().zip(&r.serial.timings).enumerate() {
+        assert_eq!(
+            (t.os, t.workload),
+            (s.os, s.workload),
+            "serial and parallel timings must list cells in the same order"
+        );
         if i > 0 {
             cells.push_str(",\n");
         }
+        // `serial_*` is the 1-worker reference for the same cell;
+        // `speedup` is the per-cell serial/parallel wall ratio, the delta
+        // regression tooling tracks across commits.
         cells.push_str(&format!(
             "    {{\"os\": {}, \"workload\": {}, \"wall_s\": {}, \"sim_events\": {}, \
-             \"events_per_sec\": {}}}",
+             \"events_per_sec\": {}, \"serial_wall_s\": {}, \
+             \"serial_events_per_sec\": {}, \"speedup\": {}}}",
             json_str(t.os.name()),
             json_str(t.workload.name()),
             json_f64(t.wall_s),
             t.sim_events,
-            json_f64(t.sim_events as f64 / t.wall_s.max(1e-9))
+            json_f64(t.sim_events as f64 / t.wall_s.max(1e-9)),
+            json_f64(s.wall_s),
+            json_f64(s.sim_events as f64 / s.wall_s.max(1e-9)),
+            json_f64(s.wall_s / t.wall_s.max(1e-9))
         ));
     }
     let total_events: u64 = r.parallel.timings.iter().map(|t| t.sim_events).sum();
@@ -71,7 +83,8 @@ pub fn render_json(cfg: &RunConfig, r: &TimingReport) -> String {
         "{{\n  \"artifact\": \"BENCH_cells\",\n  \"duration\": {},\n  \"seed\": {},\n  \
          \"threads\": {},\n  \"serial_wall_s\": {},\n  \"parallel_wall_s\": {},\n  \
          \"speedup\": {},\n  \"identical\": {},\n  \"total_sim_events\": {},\n  \
-         \"events_per_sec\": {},\n  \"cells\": [\n{}\n  ]\n}}\n",
+         \"events_per_sec\": {},\n  \"serial_events_per_sec\": {},\n  \
+         \"cells\": [\n{}\n  ]\n}}\n",
         json_str(&format!("{:?}", cfg.duration)),
         cfg.seed,
         r.parallel.threads,
@@ -81,6 +94,7 @@ pub fn render_json(cfg: &RunConfig, r: &TimingReport) -> String {
         r.identical,
         total_events,
         json_f64(total_events as f64 / r.parallel.total_wall_s.max(1e-9)),
+        json_f64(total_events as f64 / r.serial.total_wall_s.max(1e-9)),
         cells
     )
 }
@@ -101,17 +115,19 @@ pub fn render_summary(r: &TimingReport) -> String {
         }
     );
     out += &format!(
-        "{:<16}{:<18}{:>10}{:>16}{:>14}\n",
-        "OS", "workload", "wall s", "sim events", "events/s"
+        "{:<16}{:<18}{:>10}{:>16}{:>14}{:>16}{:>9}\n",
+        "OS", "workload", "wall s", "sim events", "events/s", "serial ev/s", "speedup"
     );
-    for t in &r.parallel.timings {
+    for (t, s) in r.parallel.timings.iter().zip(&r.serial.timings) {
         out += &format!(
-            "{:<16}{:<18}{:>10.2}{:>16}{:>14.0}\n",
+            "{:<16}{:<18}{:>10.2}{:>16}{:>14.0}{:>16.0}{:>8.2}x\n",
             t.os.name(),
             t.workload.name(),
             t.wall_s,
             t.sim_events,
-            t.sim_events as f64 / t.wall_s.max(1e-9)
+            t.sim_events as f64 / t.wall_s.max(1e-9),
+            s.sim_events as f64 / s.wall_s.max(1e-9),
+            s.wall_s / t.wall_s.max(1e-9)
         );
     }
     out
@@ -159,8 +175,13 @@ mod tests {
         assert!(json.contains("\"identical\": true"));
         assert!(json.contains("\"threads\": 2"));
         assert_eq!(json.matches("\"workload\":").count(), 8);
+        // Every cell carries its serial reference and per-cell speedup.
+        assert_eq!(json.matches("\"serial_wall_s\":").count(), 8 + 1);
+        assert_eq!(json.matches("\"serial_events_per_sec\":").count(), 8 + 1);
+        assert_eq!(json.matches("\"speedup\":").count(), 8 + 1);
         let text = render_summary(&r);
         assert!(text.contains("identical"));
+        assert!(text.contains("serial ev/s"));
     }
 
     #[test]

@@ -22,6 +22,7 @@
 use std::{
     cell::RefCell,
     collections::{HashMap, VecDeque},
+    hash::{BuildHasherDefault, Hasher},
     rc::Rc,
 };
 
@@ -227,6 +228,38 @@ impl LatencyTool {
     }
 }
 
+/// Pass-through hasher for the collector's id-keyed maps.
+///
+/// `DpcId`/`ThreadId` are small dense indices; the observer callbacks look
+/// them up on every measured event, so the default SipHash is a measurable
+/// share of a long simulation's wall clock. The id itself is already a
+/// perfectly good hash.
+#[derive(Default)]
+pub struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.0 = v as u64;
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+/// A `HashMap` keyed by simulator ids, hashed by identity.
+pub type IdMap<K, V> = HashMap<K, V, BuildHasherDefault<IdHasher>>;
+
 /// Exact latency series from simulator instrumentation.
 ///
 /// Uses ring buffers of recent PIT and DPC events to associate each stage
@@ -236,27 +269,27 @@ pub struct TruthCollector {
     cpu_hz: u64,
     pit_vector: VectorId,
     pit_ring: VecDeque<(Instant, Instant)>, // (asserted, isr started)
-    dpc_ring: HashMap<DpcId, VecDeque<(Instant, Instant)>>, // (queued, started)
-    watch_threads: HashMap<ThreadId, DpcId>, // thread -> its signaling DPC
+    dpc_ring: IdMap<DpcId, VecDeque<(Instant, Instant)>>, // (queued, started)
+    watch_threads: IdMap<ThreadId, DpcId>, // thread -> its signaling DPC
     /// PIT interrupt latency (hardware assert to first ISR instruction),
     /// sampled on **every** tick.
     pub pit_int: LatencySeries,
     /// Per-DPC: the PIT interrupt latency of the tick that queued this DPC
     /// — one sample per measurement round, so Table 3's "H/W Int. to S/W
     /// ISR" row is consistent event-for-event with the DPC rows.
-    pub round_int: HashMap<DpcId, LatencySeries>,
+    pub round_int: IdMap<DpcId, LatencySeries>,
     /// Per-DPC: queue to start (the paper's DPC latency).
-    pub dpc_lat: HashMap<DpcId, LatencySeries>,
+    pub dpc_lat: IdMap<DpcId, LatencySeries>,
     /// Per-DPC: hardware assert to DPC start (DPC interrupt latency).
-    pub dpc_int: HashMap<DpcId, LatencySeries>,
+    pub dpc_int: IdMap<DpcId, LatencySeries>,
     /// Per-DPC: PIT ISR start to DPC start ("S/W ISR to DPC", Table 3).
-    pub isr_to_dpc: HashMap<DpcId, LatencySeries>,
+    pub isr_to_dpc: IdMap<DpcId, LatencySeries>,
     /// Per-thread: readied (KeSetEvent) to first instruction (thread
     /// latency).
-    pub thread_lat: HashMap<ThreadId, LatencySeries>,
+    pub thread_lat: IdMap<ThreadId, LatencySeries>,
     /// Per-thread: hardware assert to first instruction (thread interrupt
     /// latency).
-    pub thread_int: HashMap<ThreadId, LatencySeries>,
+    pub thread_int: IdMap<ThreadId, LatencySeries>,
 }
 
 const RING: usize = 256;
@@ -268,15 +301,15 @@ impl TruthCollector {
             cpu_hz: k.config().cpu_hz,
             pit_vector: k.pit_vector(),
             pit_ring: VecDeque::with_capacity(RING),
-            dpc_ring: HashMap::new(),
-            watch_threads: HashMap::new(),
+            dpc_ring: IdMap::default(),
+            watch_threads: IdMap::default(),
             pit_int: LatencySeries::new("PIT interrupt latency", k.config().cpu_hz),
-            round_int: HashMap::new(),
-            dpc_lat: HashMap::new(),
-            dpc_int: HashMap::new(),
-            isr_to_dpc: HashMap::new(),
-            thread_lat: HashMap::new(),
-            thread_int: HashMap::new(),
+            round_int: IdMap::default(),
+            dpc_lat: IdMap::default(),
+            dpc_int: IdMap::default(),
+            isr_to_dpc: IdMap::default(),
+            thread_lat: IdMap::default(),
+            thread_int: IdMap::default(),
         }
     }
 

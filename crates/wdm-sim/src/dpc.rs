@@ -94,10 +94,20 @@ impl DpcQueue {
 
     /// Removes a specific DPC if queued (`KeRemoveQueueDpc`). Returns
     /// whether it was present.
+    ///
+    /// `insert` rejects duplicates, so the first match is the only one:
+    /// stop there instead of `retain`-scanning (and shifting) the whole
+    /// queue. FIFO order of the remaining entries is preserved.
     pub fn remove(&mut self, dpc: DpcId) -> bool {
-        let before = self.entries.len();
-        self.entries.retain(|e| e.dpc != dpc);
-        self.entries.len() != before
+        let Some(pos) = self.entries.iter().position(|e| e.dpc == dpc) else {
+            return false;
+        };
+        self.entries.remove(pos);
+        debug_assert!(
+            !self.entries.iter().any(|e| e.dpc == dpc),
+            "DPC double-queued despite insert's duplicate rejection"
+        );
+        true
     }
 
     /// Number of queued DPCs.

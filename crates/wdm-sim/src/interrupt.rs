@@ -42,6 +42,11 @@ pub struct Vector {
 #[derive(Debug, Default)]
 pub struct InterruptController {
     vectors: Vec<Vector>,
+    /// Ids of the lines currently pending, unordered. The simulator's
+    /// decision loop polls [`Self::next_dispatchable`] every iteration;
+    /// scanning this (usually empty, rarely more than one entry) shortlist
+    /// instead of every installed vector keeps that poll O(pending).
+    pending: Vec<VectorId>,
 }
 
 impl InterruptController {
@@ -89,6 +94,7 @@ impl InterruptController {
             false
         } else {
             vec.pending_since = Some(now);
+            self.pending.push(v);
             true
         }
     }
@@ -108,23 +114,40 @@ impl InterruptController {
     }
 
     fn next_matching(&self, current_irql: Irql, nmi_only: bool) -> Option<VectorId> {
-        self.vectors
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| {
-                v.pending_since.is_some() && v.irql > current_irql && (!nmi_only || v.nmi)
-            })
-            .max_by(|(ia, a), (ib, b)| a.irql.cmp(&b.irql).then(ib.cmp(ia)))
-            .map(|(i, _)| VectorId(i))
+        // The shortlist is unordered, but the selection — highest IRQL,
+        // ties to the lowest vector id — is order-independent, so the
+        // result is identical to a full ordered scan of the vectors.
+        let mut best: Option<(Irql, VectorId)> = None;
+        for &id in &self.pending {
+            let v = &self.vectors[id.0];
+            debug_assert!(v.pending_since.is_some(), "stale pending shortlist");
+            if v.irql > current_irql && (!nmi_only || v.nmi) {
+                let better = match best {
+                    None => true,
+                    Some((bi, bid)) => v.irql > bi || (v.irql == bi && id < bid),
+                };
+                if better {
+                    best = Some((v.irql, id));
+                }
+            }
+        }
+        best.map(|(_, id)| id)
     }
 
     /// Acknowledges (begins servicing) a pending vector, clearing the line
     /// and returning the original assertion time.
     pub fn acknowledge(&mut self, v: VectorId) -> Instant {
-        self.vectors[v.0]
+        let since = self.vectors[v.0]
             .pending_since
             .take()
-            .expect("acknowledge of a non-pending vector")
+            .expect("acknowledge of a non-pending vector");
+        let pos = self
+            .pending
+            .iter()
+            .position(|&p| p == v)
+            .expect("pending shortlist out of sync");
+        self.pending.swap_remove(pos);
+        since
     }
 
     /// Read access to a vector.

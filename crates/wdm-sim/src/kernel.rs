@@ -21,16 +21,12 @@
 //! the next decision point (hardware event, busy-chunk completion, quantum
 //! expiry). Everything is deterministic given the configuration seed.
 
-use std::{
-    cell::RefCell,
-    cmp::Reverse,
-    collections::{BinaryHeap, VecDeque},
-    rc::Rc,
-};
+use std::{cell::RefCell, collections::VecDeque, rc::Rc};
 
-use rand::{rngs::StdRng, SeedableRng};
+use rand::{rngs::StdRng, RngCore, SeedableRng};
 
 use crate::{
+    calendar::Calendar,
     config::KernelConfig,
     dpc::{DpcImportance, DpcQueue},
     env::{EnvAction, EnvSource},
@@ -74,6 +70,13 @@ enum IsrBody {
 struct Frame {
     kind: FrameKind,
     exec: ExecState,
+    /// Cumulative [`CpuState`] of the stack up to and including this frame,
+    /// snapshotted at push time. Valid for the frame's whole lifetime: the
+    /// fold over the stack is a monotone max (plus a sticky interrupt-flag
+    /// clear), frames below never change, and the base thread IRQL is
+    /// frozen while any frame exists (threads only step on an empty
+    /// stack). Makes the decision loop's per-iteration `cpu_state` O(1).
+    cpu: CpuState,
 }
 
 enum FrameKind {
@@ -81,6 +84,9 @@ enum FrameKind {
     /// 2 = exit overhead.
     Isr {
         vector: VectorId,
+        /// The vector's IRQL, cached at dispatch so the per-iteration
+        /// effective-IRQL walk needs no interrupt-controller lookup.
+        irql: Irql,
         asserted: Instant,
         interrupted: Label,
         program: Option<Box<dyn Program>>,
@@ -138,7 +144,9 @@ pub struct Kernel {
     board: Blackboard,
     ic: InterruptController,
     isr_bodies: Vec<IsrBody>,
-    pit: Pit,
+    /// All time-based wakeups: PIT tick, env arrivals, timer deadlines,
+    /// thread wait deadlines (see [`crate::calendar`]).
+    calendar: Calendar,
     pit_vector: VectorId,
     pit_label: Label,
     dpcs: Vec<DpcObject>,
@@ -159,8 +167,6 @@ pub struct Kernel {
     /// [`Kernel::fire_env`], which takes the slot to split borrows without
     /// allocating a placeholder source per arrival.
     env: Vec<Option<EnvSource>>,
-    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
-    heap_seq: u64,
     observers: Vec<Rc<RefCell<dyn Observer>>>,
     resched: bool,
     current_label: Label,
@@ -180,6 +186,9 @@ pub struct Kernel {
     /// Reusable buffer for threads released by a signal; kept empty
     /// between signals so SetEvent/ReleaseSemaphore never allocate.
     wake_scratch: Vec<ThreadId>,
+    /// Reusable buffer for due calendar entries popped inside the clock
+    /// ISR; kept empty between ticks so `clock_tick_work` never allocates.
+    due_scratch: Vec<u32>,
 }
 
 impl Kernel {
@@ -201,7 +210,7 @@ impl Kernel {
             board: Blackboard::new(),
             ic,
             isr_bodies: vec![IsrBody::Pit],
-            pit,
+            calendar: Calendar::new(pit),
             pit_vector,
             pit_label,
             dpcs: Vec::new(),
@@ -219,8 +228,6 @@ impl Kernel {
             frames: Vec::new(),
             pending_sections: VecDeque::new(),
             env: Vec::new(),
-            heap: BinaryHeap::new(),
-            heap_seq: 0,
             observers: Vec::new(),
             resched: false,
             current_label: Label::IDLE,
@@ -230,6 +237,7 @@ impl Kernel {
             busy_overruns: 0,
             sim_events: 0,
             wake_scratch: Vec::new(),
+            due_scratch: Vec::new(),
         }
     }
 
@@ -480,6 +488,34 @@ impl Kernel {
         self.do_release_semaphore(s, count);
     }
 
+    /// Arms a timer from outside the simulation (test harness use). Same
+    /// semantics as `Step::SetTimer` minus the service-call charge.
+    pub fn set_timer(&mut self, timer: TimerId, due: Cycles, period: Option<Cycles>) {
+        self.do_set_timer(timer, due, period);
+    }
+
+    /// Cancels a timer from outside the simulation. Returns whether it
+    /// was armed.
+    pub fn cancel_timer(&mut self, timer: TimerId) -> bool {
+        self.do_cancel_timer(timer)
+    }
+
+    /// Fingerprint of the RNG stream position: the next value the
+    /// generator *would* produce, read from a clone so the stream itself
+    /// is not advanced. Equal fingerprints before/after an operation prove
+    /// it made no RNG draws.
+    pub fn rng_fingerprint(&self) -> u64 {
+        self.rng.clone().next_u64()
+    }
+
+    /// Due calendar entries processed so far (pops, stale skips and
+    /// due-count visits inside the clock ISR). Grows with *due* events
+    /// only — the `sim_primitives` counting bench asserts armed
+    /// far-future timers and sleepers do not inflate it.
+    pub fn calendar_tick_work(&self) -> u64 {
+        self.calendar.tick_work()
+    }
+
     // ------------------------------------------------------------------
     // The main loop
     // ------------------------------------------------------------------
@@ -496,62 +532,47 @@ impl Kernel {
             self.sim_events += 1;
             // Deliver hardware events that are due.
             self.fire_due_events();
-            // Materialize what the CPU runs next; returns the absolute time
-            // at which the current busy chunk ends (None = idle).
-            let busy_end = self.ensure_activity();
-            // Next decision point.
-            let mut next = t_end.min(Instant(self.pit.next_tick.0));
-            if let Some(&Reverse((t, _, _))) = self.heap.peek() {
-                next = next.min(Instant(t));
-            }
-            if let Some(b) = busy_end {
-                next = next.min(b);
-            }
-            if let Some(q) = self.quantum_end() {
-                next = next.min(q);
+            // Materialize what the CPU runs next; the outcome says whether
+            // a frame or a thread owns the busy chunk (or the CPU is idle).
+            let activity = self.ensure_activity();
+            // Next decision point: one calendar peek covers the PIT tick
+            // and the next environment arrival. Timer and wait deadlines
+            // are tick-granular (they fire *inside* the clock ISR, never
+            // between ticks), so the PIT tick already bounds them.
+            let mut next = t_end.min(self.calendar.next_wakeup());
+            match activity {
+                Activity::Idle => {}
+                Activity::Frame(b) => next = next.min(b),
+                Activity::Thread(b) => {
+                    next = next.min(b);
+                    // Quantum expiry bounds program work (dispatch overhead
+                    // is kernel time and does not tick the quantum). The
+                    // running thread's chunk is guaranteed `Busy` here, so
+                    // this is the only check `quantum_end` needs.
+                    let t = self.current_thread.expect("thread activity");
+                    let tcb = &self.threads[t.0];
+                    if !tcb.in_overhead {
+                        next = next.min(self.now + tcb.quantum_remaining);
+                    }
+                }
             }
             debug_assert!(next >= self.now, "time must not run backwards");
             self.advance_to(next);
         }
     }
 
-    /// Absolute end of the running thread's quantum, when a base-level
-    /// thread is executing program work.
-    fn quantum_end(&self) -> Option<Instant> {
-        if !self.frames.is_empty() {
-            return None;
-        }
-        let t = self.current_thread?;
-        let tcb = &self.threads[t.0];
-        // Dispatch overhead is kernel time and does not tick the quantum.
-        if tcb.in_overhead {
-            return None;
-        }
-        match tcb.exec {
-            ExecState::Busy { .. } => Some(self.now + tcb.quantum_remaining),
-            ExecState::NeedStep => None,
-        }
-    }
-
     /// Delivers PIT ticks and environment arrivals that are due at `now`.
     fn fire_due_events(&mut self) {
-        while self.pit.next_tick <= self.now {
-            let t = self.pit.next_tick;
+        while let Some(t) = self.calendar.pop_due_tick(self.now) {
             self.ic.assert_line(self.pit_vector, t);
-            self.pit.advance();
         }
-        while let Some(&Reverse((t, _, idx))) = self.heap.peek() {
-            if Instant(t) > self.now {
-                break;
-            }
-            self.heap.pop();
+        while let Some(idx) = self.calendar.pop_due_env(self.now) {
             self.fire_env(idx);
         }
     }
 
     fn schedule_env(&mut self, idx: usize, at: Instant) {
-        self.heap_seq += 1;
-        self.heap.push(Reverse((at.0, self.heap_seq, idx)));
+        self.calendar.schedule_env(idx, at);
     }
 
     fn fire_env(&mut self, idx: usize) {
@@ -609,12 +630,15 @@ impl Kernel {
 
     /// Pushes an interrupt-disabled window on top of whatever runs.
     fn push_cli(&mut self, d: Cycles, label: Label) {
+        let kind = FrameKind::Cli;
+        let cpu = self.child_cpu(&kind);
         self.frames.push(Frame {
-            kind: FrameKind::Cli,
+            kind,
             exec: ExecState::Busy {
                 remaining: d,
                 label,
             },
+            cpu,
         });
     }
 
@@ -672,9 +696,9 @@ impl Kernel {
     /// Materializes the next runnable activity, processing completed busy
     /// chunks, dispatching interrupts, draining DPCs and scheduling threads.
     ///
-    /// Returns the absolute completion time of the resulting busy chunk, or
-    /// `None` if the CPU is idle.
-    fn ensure_activity(&mut self) -> Option<Instant> {
+    /// Returns the absolute completion time of the resulting busy chunk and
+    /// whether a frame or a thread owns it, or [`Activity::Idle`].
+    fn ensure_activity(&mut self) -> Activity {
         let mut guard = 0u32;
         loop {
             guard += 1;
@@ -686,12 +710,12 @@ impl Kernel {
             // 1. Interrupt dispatch, highest IRQL first. NMI vectors
             // pierce cli windows (they ignore the interrupt flag), so their
             // dispatch check excludes Cli frames from the effective level.
+            let cpu = self.cpu_state();
             {
-                let next = if self.interrupts_enabled() {
-                    self.ic.next_dispatchable(self.effective_irql())
+                let next = if cpu.interrupts_enabled {
+                    self.ic.next_dispatchable(cpu.irql)
                 } else {
-                    self.ic
-                        .next_nmi_dispatchable(self.effective_irql_ignoring_cli())
+                    self.ic.next_nmi_dispatchable(cpu.nmi_irql)
                 };
                 if let Some(v) = next {
                     self.push_isr(v);
@@ -703,10 +727,13 @@ impl Kernel {
             // non-preemptible sections (which are PASSIVE-level code that
             // only blocks the *dispatcher*), but never ISRs, Cli windows or
             // an already-running drain.
-            if !self.dpc_queue.is_empty() && self.effective_irql() < Irql::DISPATCH {
+            if !self.dpc_queue.is_empty() && cpu.irql < Irql::DISPATCH {
+                let kind = FrameKind::DpcDrain { current: None };
+                let cpu = self.child_cpu(&kind);
                 self.frames.push(Frame {
-                    kind: FrameKind::DpcDrain { current: None },
+                    kind,
                     exec: ExecState::NeedStep,
+                    cpu,
                 });
                 continue;
             }
@@ -714,20 +741,25 @@ impl Kernel {
             // 3. Run the top frame if present.
             if !self.frames.is_empty() {
                 match self.frame_progress() {
-                    FrameOutcome::Running(end) => return Some(end),
+                    FrameOutcome::Running(end) => return Activity::Frame(end),
                     FrameOutcome::Changed => continue,
                 }
             }
 
             // 4. Pending non-preemptible sections start at thread level.
-            if self.thread_irql() == Irql::PASSIVE {
+            // The frames are empty here (step 3), so `cpu.irql` is exactly
+            // the running thread's own IRQL — no second stack walk needed.
+            if !self.pending_sections.is_empty() && cpu.irql == Irql::PASSIVE {
                 if let Some((d, l)) = self.pending_sections.pop_front() {
+                    let kind = FrameKind::Section;
+                    let cpu = self.child_cpu(&kind);
                     self.frames.push(Frame {
-                        kind: FrameKind::Section,
+                        kind,
                         exec: ExecState::Busy {
                             remaining: d,
                             label: l,
                         },
+                        cpu,
                     });
                     continue;
                 }
@@ -739,23 +771,16 @@ impl Kernel {
             }
             let Some(t) = self.current_thread else {
                 if self.ready.is_empty() {
-                    return None; // Idle.
+                    return Activity::Idle;
                 }
                 self.resched = true;
                 continue;
             };
             match self.thread_progress(t) {
-                ThreadOutcome::Running(end) => return Some(end),
+                ThreadOutcome::Running(end) => return Activity::Thread(end),
                 ThreadOutcome::Changed => continue,
             }
         }
-    }
-
-    fn interrupts_enabled(&self) -> bool {
-        !self
-            .frames
-            .iter()
-            .any(|f| matches!(f.kind, FrameKind::Cli))
     }
 
     /// IRQL contributed by the running thread (threads can raise IRQL).
@@ -765,37 +790,85 @@ impl Kernel {
             .unwrap_or(Irql::PASSIVE)
     }
 
-    /// Effective processor IRQL: the max over active frames and the thread.
-    fn effective_irql(&self) -> Irql {
-        self.effective_irql_inner(true)
-    }
-
-    /// Effective IRQL as a non-maskable interrupt sees it: cli windows do
-    /// not mask NMIs, so Cli frames are transparent.
-    fn effective_irql_ignoring_cli(&self) -> Irql {
-        self.effective_irql_inner(false)
-    }
-
-    fn effective_irql_inner(&self, count_cli: bool) -> Irql {
-        let mut irql = self.thread_irql();
-        for f in &self.frames {
-            let fl = match &f.kind {
-                FrameKind::Isr { vector, .. } => self.ic.vector(*vector).irql,
-                FrameKind::DpcDrain { .. } => Irql::DISPATCH,
-                FrameKind::Cli => {
-                    if count_cli {
-                        Irql::HIGH
-                    } else {
-                        Irql::PASSIVE
-                    }
+    /// Everything the decision loop needs about interrupt masking: whether
+    /// interrupts are enabled, the effective IRQL, and the effective IRQL
+    /// as a non-maskable interrupt sees it (cli windows do not mask NMIs,
+    /// so Cli frames are transparent to it).
+    ///
+    /// O(1): the top frame carries the cumulative state of the whole stack
+    /// (see [`Frame::cpu`]); with no frames, the running thread's own IRQL
+    /// is the answer. The loop runs this every iteration, so the former
+    /// per-call stack walk was a measurable share of simulator throughput.
+    fn cpu_state(&self) -> CpuState {
+        match self.frames.last() {
+            Some(f) => {
+                debug_assert_eq!(f.cpu, self.cpu_state_walk(), "stale frame CPU snapshot");
+                f.cpu
+            }
+            None => {
+                let t = self.thread_irql();
+                CpuState {
+                    interrupts_enabled: true,
+                    irql: t,
+                    nmi_irql: t,
                 }
-                FrameKind::Section => Irql::PASSIVE,
-            };
-            if fl > irql {
-                irql = fl;
             }
         }
-        irql
+    }
+
+    /// Cumulative CPU state the stack would have after pushing `kind`.
+    fn child_cpu(&self, kind: &FrameKind) -> CpuState {
+        let p = self.cpu_state();
+        match kind {
+            FrameKind::Isr { irql, .. } => CpuState {
+                interrupts_enabled: p.interrupts_enabled,
+                irql: p.irql.max(*irql),
+                nmi_irql: p.nmi_irql.max(*irql),
+            },
+            FrameKind::DpcDrain { .. } => CpuState {
+                interrupts_enabled: p.interrupts_enabled,
+                irql: p.irql.max(Irql::DISPATCH),
+                nmi_irql: p.nmi_irql.max(Irql::DISPATCH),
+            },
+            // Cli masks interrupts outright; HIGH is the IRQL lattice top,
+            // so overwriting matches the max-fold.
+            FrameKind::Cli => CpuState {
+                interrupts_enabled: false,
+                irql: Irql::HIGH,
+                nmi_irql: p.nmi_irql,
+            },
+            FrameKind::Section => p,
+        }
+    }
+
+    /// Reference fold over the whole stack, kept to cross-check the cached
+    /// snapshots in debug builds (`debug_assert` still type-checks its
+    /// arguments in release, so this is not `cfg`-gated).
+    fn cpu_state_walk(&self) -> CpuState {
+        let t = self.thread_irql();
+        let mut s = CpuState {
+            interrupts_enabled: true,
+            irql: t,
+            nmi_irql: t,
+        };
+        for f in &self.frames {
+            match f.kind {
+                FrameKind::Isr { irql, .. } => {
+                    s.irql = s.irql.max(irql);
+                    s.nmi_irql = s.nmi_irql.max(irql);
+                }
+                FrameKind::DpcDrain { .. } => {
+                    s.irql = s.irql.max(Irql::DISPATCH);
+                    s.nmi_irql = s.nmi_irql.max(Irql::DISPATCH);
+                }
+                FrameKind::Cli => {
+                    s.interrupts_enabled = false;
+                    s.irql = Irql::HIGH;
+                }
+                FrameKind::Section => {}
+            }
+        }
+        s
     }
 
     fn push_isr(&mut self, v: VectorId) {
@@ -807,19 +880,24 @@ impl Kernel {
             IsrBody::Pit => None,
         };
         let cost = self.config.isr_dispatch_cost;
+        let irql = self.ic.vector(v).irql;
+        let kind = FrameKind::Isr {
+            vector: v,
+            irql,
+            asserted,
+            interrupted,
+            program,
+            is_pit,
+            phase: 0,
+        };
+        let cpu = self.child_cpu(&kind);
         self.frames.push(Frame {
-            kind: FrameKind::Isr {
-                vector: v,
-                asserted,
-                interrupted,
-                program,
-                is_pit,
-                phase: 0,
-            },
+            kind,
             exec: ExecState::Busy {
                 remaining: cost,
                 label: Label::KERNEL,
             },
+            cpu,
         });
     }
 
@@ -1001,6 +1079,7 @@ impl Kernel {
                     let Frame {
                         kind: FrameKind::DpcDrain { current: Some(c) },
                         exec,
+                        ..
                     } = &mut self.frames[idx]
                     else {
                         unreachable!()
@@ -1157,8 +1236,14 @@ impl Kernel {
         match self.threads[t.0].exec {
             ExecState::Busy { remaining, .. } if !remaining.is_zero() => {
                 // Overhead does not count against the quantum; program work
-                // does, and an exhausted quantum preempts mid-chunk.
-                if !self.threads[t.0].in_overhead && self.maybe_expire_quantum(t) {
+                // does, and an exhausted quantum preempts mid-chunk. The
+                // expiry helper is a no-op while quantum remains, so gate
+                // the call on the (hot) non-zero check.
+                let tcb = &self.threads[t.0];
+                if !tcb.in_overhead
+                    && tcb.quantum_remaining.is_zero()
+                    && self.maybe_expire_quantum(t)
+                {
                     return ThreadOutcome::Changed;
                 }
                 ThreadOutcome::Running(self.now + remaining)
@@ -1477,6 +1562,13 @@ impl Kernel {
             tcb.state = ThreadState::Waiting;
             tcb.wait = obj;
             tcb.wait_deadline = deadline;
+            if deadline.is_some() {
+                tcb.deadline_gen += 1;
+            }
+        }
+        if let Some(d) = deadline {
+            let gen = self.threads[t.0].deadline_gen;
+            self.calendar.arm_wait(t.0 as u32, d, gen);
         }
         if let Some(obj) = obj {
             self.enqueue_waiter(obj, t);
@@ -1558,12 +1650,9 @@ impl Kernel {
             }
             Step::ResetEvent(e) => self.events[e.0].reset(),
             Step::ReleaseSemaphore(s, n) => self.do_release_semaphore(s, n),
-            Step::SetTimer { timer, due, period } => {
-                let now = self.now;
-                self.timers[timer.0].set(now, due, period);
-            }
+            Step::SetTimer { timer, due, period } => self.do_set_timer(timer, due, period),
             Step::CancelTimer(t) => {
-                self.timers[t.0].cancel();
+                self.do_cancel_timer(t);
             }
             Step::CompleteIrp(irp) => {
                 let now = self.now;
@@ -1583,6 +1672,26 @@ impl Kernel {
             }
             other => unreachable!("apply_service_step got {other:?}"),
         }
+    }
+
+    fn do_set_timer(&mut self, timer: TimerId, due: Cycles, period: Option<Cycles>) {
+        let now = self.now;
+        // Re-arming orphans the previous calendar entry, if any.
+        if self.timers[timer.0].due.is_some() {
+            self.calendar.timer_invalidated(&self.timers);
+        }
+        self.timers[timer.0].set(now, due, period);
+        let t = &self.timers[timer.0];
+        let deadline = t.due.expect("set arms the timer");
+        self.calendar.arm_timer(timer.0 as u32, deadline, t.due_gen);
+    }
+
+    fn do_cancel_timer(&mut self, t: TimerId) -> bool {
+        let was_armed = self.timers[t.0].cancel();
+        if was_armed {
+            self.calendar.timer_invalidated(&self.timers);
+        }
+        was_armed
     }
 
     fn do_set_event(&mut self, e: EventId) {
@@ -1646,7 +1755,12 @@ impl Kernel {
         debug_assert_eq!(tcb.state, ThreadState::Waiting, "readying a non-waiting thread");
         tcb.state = ThreadState::Ready;
         tcb.wait = None;
-        tcb.wait_deadline = None;
+        // A signal-wake before the deadline orphans the thread's calendar
+        // entry; the expiry path clears the deadline before calling here.
+        let deadline_orphaned = tcb.wait_deadline.take().is_some();
+        if deadline_orphaned {
+            tcb.deadline_gen += 1;
+        }
         tcb.last_wait_timed_out = false;
         tcb.readied_at = Some(now);
         tcb.waits_satisfied += 1;
@@ -1656,6 +1770,9 @@ impl Kernel {
             tcb.priority = (tcb.base_priority + boost).min(15).max(tcb.priority);
         }
         let priority = tcb.priority;
+        if deadline_orphaned {
+            self.calendar.wait_invalidated(&self.threads);
+        }
         self.ready.push_back(t, priority);
         let current_priority = self
             .current_thread
@@ -1727,24 +1844,40 @@ impl Kernel {
     // Clock tick work (runs in the PIT ISR body)
     // --------------------------------------------------------------
 
-    fn due_timer_count(&self) -> usize {
+    fn due_timer_count(&mut self) -> usize {
         let now = self.now;
-        self.timers.iter().filter(|t| t.is_due(now)).count()
+        self.calendar.due_timer_count(now, &self.timers)
     }
 
     /// Fires due timers (queueing their DPCs, waking waiters) and expires
     /// timed waits. Runs at the end of the clock ISR body.
+    ///
+    /// Only *due* calendar entries are popped — O(due), not
+    /// O(timers + threads). The due batch arrives sorted ascending by
+    /// object index, which is the order the old full scans fired in, so
+    /// wake order (and with it RNG call order and run digests) is
+    /// unchanged. Batch-collecting before acting is equivalent to the old
+    /// interleaved scan: firing timer j cannot change whether timer i is
+    /// due, and expiring thread j cannot change thread i's deadline.
     fn clock_tick_work(&mut self) {
         let now = self.now;
-        // Timers.
-        for i in 0..self.timers.len() {
-            if !self.timers[i].is_due(now) {
-                continue;
-            }
+        // Timers, ascending timer index.
+        let mut due = std::mem::take(&mut self.due_scratch);
+        self.calendar.take_due_timers(now, &self.timers, &mut due);
+        for &ti in &due {
+            let i = ti as usize;
+            debug_assert!(self.timers[i].is_due(now), "stale entry survived validation");
             let dpc = self.timers[i].fire(now);
             if let Some(d) = dpc {
                 let importance = self.dpcs[d.0].importance;
                 self.dpc_queue.insert(d, importance, now);
+            }
+            // A periodic timer re-armed itself inside `fire`; push the new
+            // deadline. (Like the old per-index scan, it fires at most
+            // once per tick even if the new deadline is already due.)
+            if let Some(next_due) = self.timers[i].due {
+                let gen = self.timers[i].due_gen;
+                self.calendar.arm_timer(ti, next_due, gen);
             }
             // Wake timer waiters (notification semantics). Popping one at
             // a time instead of draining into a fresh Vec per expiry is
@@ -1754,17 +1887,25 @@ impl Kernel {
                 self.ready_thread(t);
             }
         }
-        // Timed waits and sleeps.
-        for i in 0..self.threads.len() {
-            let expired = {
-                let tcb = &self.threads[i];
-                tcb.state == ThreadState::Waiting
-                    && matches!(tcb.wait_deadline, Some(d) if d <= now)
-            };
-            if !expired {
-                continue;
-            }
+        // Timed waits and sleeps, ascending thread index.
+        due.clear();
+        self.calendar.take_due_waits(now, &self.threads, &mut due);
+        for &ti in &due {
+            let i = ti as usize;
             let t = ThreadId(i);
+            {
+                // Consume the deadline here so `ready_thread_from` does
+                // not report the already-popped entry as orphaned.
+                let tcb = &mut self.threads[i];
+                debug_assert_eq!(
+                    tcb.state,
+                    ThreadState::Waiting,
+                    "armed deadline on a non-waiting thread"
+                );
+                debug_assert!(matches!(tcb.wait_deadline, Some(d) if d <= now));
+                tcb.wait_deadline = None;
+                tcb.deadline_gen += 1;
+            }
             // Unlink from whatever it was waiting on; WaitAny sets are
             // unlinked inside ready_thread_from.
             if let Some(obj) = self.threads[i].wait {
@@ -1777,10 +1918,22 @@ impl Kernel {
             self.threads[i].last_wait_timed_out = was_timed_wait;
             if was_timed_wait {
                 self.wait_timeouts += 1;
-                // A timed-out wait did not consume a signal.
-                self.threads[i].waits_satisfied -= 1;
+                // A timed-out wait did not consume a signal, so undo the
+                // `waits_satisfied` increment `ready_thread` just made.
+                // The increment always precedes this decrement within one
+                // expiry, so the counter cannot underflow; the checked
+                // form keeps release builds safe if that invariant ever
+                // breaks.
+                let w = &mut self.threads[i].waits_satisfied;
+                debug_assert!(
+                    *w > 0,
+                    "timed-wait expiry without ready_thread's waits_satisfied increment"
+                );
+                *w = w.checked_sub(1).unwrap_or(0);
             }
         }
+        due.clear();
+        self.due_scratch = due;
     }
 
     /// Invokes `f` on every observer without cloning the `Vec<Rc<_>>` per
@@ -1801,6 +1954,32 @@ fn set_isr_phase(f: &mut Frame, phase: u8) {
     if let FrameKind::Isr { phase: p, .. } = &mut f.kind {
         *p = phase;
     }
+}
+
+/// Snapshot of the processor's interrupt-masking state, maintained
+/// incrementally on the preemption stack (see [`Frame::cpu`]) and read by
+/// [`Kernel::cpu_state`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CpuState {
+    /// False while any cli window is active.
+    interrupts_enabled: bool,
+    /// Effective IRQL (cli windows count as HIGH).
+    irql: Irql,
+    /// Effective IRQL as an NMI sees it (cli windows are transparent).
+    nmi_irql: Irql,
+}
+
+/// What the decision loop materialized: the owner of the next busy chunk
+/// (and its absolute completion time), or an idle CPU. Distinguishing frame
+/// from thread activity lets `run_until` skip the quantum-expiry bound
+/// whenever no thread program is on the CPU.
+enum Activity {
+    /// Nothing runnable: the CPU idles until the next hardware event.
+    Idle,
+    /// An ISR/DPC/cli/section frame busy chunk ends at the given time.
+    Frame(Instant),
+    /// The current thread's busy chunk ends at the given time.
+    Thread(Instant),
 }
 
 enum FrameOutcome {

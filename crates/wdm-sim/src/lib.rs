@@ -59,6 +59,7 @@
 //! assert!(!watch.borrow().0.is_empty());
 //! ```
 
+pub mod calendar;
 pub mod config;
 pub mod dpc;
 pub mod env;

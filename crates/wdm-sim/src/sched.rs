@@ -59,15 +59,21 @@ impl ReadyQueues {
 
     /// Removes a specific thread (priority change, termination). Returns
     /// whether it was queued.
+    ///
+    /// A thread is queued at most once, so this stops at the first match
+    /// instead of `retain`-scanning (and shifting) the whole queue; FIFO
+    /// order of the remaining threads is preserved.
     pub fn remove(&mut self, t: ThreadId, priority: u8) -> bool {
         let q = &mut self.queues[priority as usize];
-        let before = q.len();
-        q.retain(|&x| x != t);
-        let removed = q.len() != before;
+        let Some(pos) = q.iter().position(|&x| x == t) else {
+            return false;
+        };
+        q.remove(pos);
+        debug_assert!(!q.contains(&t), "thread double-queued at one priority");
         if q.is_empty() {
             self.nonempty &= !(1 << priority);
         }
-        removed
+        true
     }
 
     /// Number of ready threads at a given priority.

@@ -56,6 +56,9 @@ pub struct Tcb {
     pub wait: Option<WaitObject>,
     /// Absolute deadline for a timed wait or sleep.
     pub wait_deadline: Option<Instant>,
+    /// Generation of `wait_deadline`: bumped on every transition so the
+    /// event calendar can lazily invalidate stale deadline entries.
+    pub deadline_gen: u64,
     /// Whether the last timed wait expired rather than being satisfied.
     pub last_wait_timed_out: bool,
     /// When the thread was most recently made ready after a wait; the basis
@@ -105,6 +108,7 @@ impl Tcb {
             quantum_remaining: Cycles::ZERO,
             wait: None,
             wait_deadline: None,
+            deadline_gen: 0,
             last_wait_timed_out: false,
             readied_at: None,
             pending_overhead: Cycles::ZERO,

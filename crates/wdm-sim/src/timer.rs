@@ -27,6 +27,10 @@ pub struct KTimer {
     pub waiters: std::collections::VecDeque<crate::ids::ThreadId>,
     /// Total expirations, for stats.
     pub fire_count: u64,
+    /// Generation of the `due` field: bumped on every set/cancel/fire so
+    /// the event calendar can lazily invalidate stale deadline entries
+    /// (an entry is live iff its recorded generation still matches).
+    pub due_gen: u64,
 }
 
 impl KTimer {
@@ -39,6 +43,7 @@ impl KTimer {
             signaled: false,
             waiters: std::collections::VecDeque::new(),
             fire_count: 0,
+            due_gen: 0,
         }
     }
 
@@ -46,6 +51,7 @@ impl KTimer {
     /// time and clears the signaled state, per NT semantics.
     pub fn set(&mut self, now: Instant, due_in: Cycles, period: Option<Cycles>) {
         self.due = Some(now + due_in);
+        self.due_gen += 1;
         self.period = period;
         self.signaled = false;
     }
@@ -53,6 +59,7 @@ impl KTimer {
     /// Disarms the timer (`KeCancelTimer`). Returns whether it was armed.
     pub fn cancel(&mut self) -> bool {
         self.period = None;
+        self.due_gen += 1;
         self.due.take().is_some()
     }
 
@@ -69,6 +76,7 @@ impl KTimer {
         debug_assert!(self.is_due(now));
         self.fire_count += 1;
         self.signaled = true;
+        self.due_gen += 1;
         match self.period {
             Some(p) => {
                 // Periodic timers re-arm relative to the *due* time, not the
