@@ -80,6 +80,22 @@ impl Observer for CountingObserver {
     }
 }
 
+/// [`CountingObserver`] narrowed to DPC starts only: everything else the
+/// kernel emits is a masked-out kind that must cost one branch.
+#[derive(Default)]
+struct DpcOnlyObserver {
+    events: u64,
+}
+
+impl Observer for DpcOnlyObserver {
+    fn interest(&self) -> Interest {
+        Interest::DPC_START
+    }
+    fn on_dpc_start(&mut self, _e: &DpcStart) {
+        self.events += 1;
+    }
+}
+
 /// One simulated second of an idle kernel (PIT only).
 fn bench_idle_kernel(c: &mut Criterion) {
     c.bench_function("sim/idle_kernel_1s", |b| {
@@ -288,6 +304,80 @@ fn bench_notify_steady_state(c: &mut Criterion) {
     });
 }
 
+/// The interest-mask contract, cost-checked exactly: with only a
+/// DPC-interested observer installed, the kernel takes/restores the
+/// observer list *only* for DPC deliveries — ISR entries, thread resumes
+/// and (far more frequent) context switches never touch it. The paired
+/// full-interest kernel shows the traffic the mask removes, and a Criterion
+/// timing tracks the wall-clock side of the same path.
+fn bench_masked_notify(c: &mut Criterion) {
+    // Same workload as `notify_kernel`, but the observer wants one kind.
+    let build = |masked: bool| -> (Kernel, u64) {
+        let mut k = Kernel::new(KernelConfig::default());
+        if masked {
+            k.add_observer(Rc::new(RefCell::new(DpcOnlyObserver::default())));
+        } else {
+            k.add_observer(Rc::new(RefCell::new(CountingObserver::default())));
+        }
+        let evt = k.create_event(EventKind::Synchronization, false);
+        let slot = k.alloc_slots(1);
+        let _t = k.create_thread(
+            "waiter",
+            28,
+            Box::new(LoopSeq::new(vec![
+                Step::Wait(WaitObject::Event(evt)),
+                Step::ReadTsc(slot),
+            ])),
+        );
+        let dpc = k.create_dpc(
+            "sig",
+            DpcImportance::Medium,
+            Box::new(OpSeq::new(vec![Step::SetEvent(evt), Step::Return])),
+        );
+        let timer = k.create_timer(Some(dpc));
+        let _armer = k.create_thread(
+            "armer",
+            16,
+            Box::new(OpSeq::new(vec![Step::SetTimer {
+                timer,
+                due: Cycles::from_ms(1.0),
+                period: Some(Cycles::from_ms(1.0)),
+            }])),
+        );
+        k.run_for(Cycles::from_ms(1_000.0));
+        let dpc_events = k.dpc(dpc).run_count;
+        (k, dpc_events)
+    };
+
+    let (masked, masked_dpcs) = build(true);
+    let (full, _) = build(false);
+    assert!(masked_dpcs > 500, "steady DPC traffic expected");
+    assert_eq!(
+        masked.notify_takes, masked_dpcs,
+        "masked-out kinds took the observer list: {} takes for {} DPC \
+         deliveries",
+        masked.notify_takes, masked_dpcs
+    );
+    assert!(
+        full.notify_takes > masked.notify_takes * 3,
+        "full interest must generate strictly more list traffic \
+         (full {} vs masked {})",
+        full.notify_takes,
+        masked.notify_takes
+    );
+    eprintln!(
+        "  mask check: {} list takes (= DPC deliveries) masked vs {} full",
+        masked.notify_takes, full.notify_takes
+    );
+    let mut k = masked;
+    c.bench_function("sim/masked_notify_steady_1s", |b| {
+        b.iter(|| {
+            k.run_for(Cycles::from_ms(1_000.0));
+            std::hint::black_box(k.sim_events)
+        })
+    });
+}
+
 /// Steady-state WaitAny block/ready cycling, allocation-checked.
 fn bench_waitany_steady_state(c: &mut Criterion) {
     let mut k = waitany_kernel();
@@ -401,7 +491,8 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench_idle_kernel, bench_measured_kernel, bench_games_cell,
               bench_event_roundtrip, bench_notify_steady_state,
-              bench_waitany_steady_state, bench_timer_expiry_steady_state,
+              bench_masked_notify, bench_waitany_steady_state,
+              bench_timer_expiry_steady_state,
               bench_calendar_tick_independence, bench_histogram
 }
 criterion_main!(benches);

@@ -96,6 +96,12 @@ pub struct CellTiming {
     pub wall_s: f64,
     /// Simulator decision-loop iterations the cell executed.
     pub sim_events: u64,
+    /// Program steps the cell's kernel executed.
+    pub steps_executed: u64,
+    /// Entries into the kernel's inner step loops. The timing artifact
+    /// reports `steps_executed / step_dispatches` per cell as
+    /// `batch_steps_per_dispatch`.
+    pub step_dispatches: u64,
 }
 
 /// The 8 cells plus harness timing metadata (the `timing` artifact).
@@ -139,6 +145,8 @@ pub fn measure_all_timed(cfg: &RunConfig) -> TimedCells {
             workload,
             wall_s,
             sim_events: m.sim_events,
+            steps_executed: m.steps_executed,
+            step_dispatches: m.step_dispatches,
         });
         match os {
             OsKind::Nt4 => nt.push(m),

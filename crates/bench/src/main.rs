@@ -163,8 +163,10 @@ fn main() {
         "ablations" => print!("{}", extras::ablations(minutes.min(5.0), seed, threads)),
         "timing" => {
             eprintln!(
-                "timing the 8-cell grid, serial vs {} threads ({duration:?}, seed {seed})...",
-                wdm_bench::parallel::effective_threads(threads, 8)
+                "timing the 8-cell grid, serial vs {} threads on {} host cores \
+                 ({duration:?}, seed {seed})...",
+                wdm_bench::parallel::effective_threads(threads, 8),
+                wdm_bench::parallel::host_cores()
             );
             let r = timing::run(&cfg);
             print!("{}", timing::render_summary(&r));

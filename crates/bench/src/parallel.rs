@@ -18,14 +18,17 @@ use std::sync::{
 /// the result is clamped to `[1, jobs]` so short grids never spawn idle
 /// workers.
 pub fn effective_threads(requested: usize, jobs: usize) -> usize {
-    let n = if requested == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        requested
-    };
+    let n = if requested == 0 { host_cores() } else { requested };
     n.clamp(1, jobs.max(1))
+}
+
+/// Cores the host exposes (`std::thread::available_parallelism`), 1 when
+/// unknown. Recorded in the timing artifact as `host_cores` so a speedup
+/// below 1 on a single-core container reads as expected, not as a bug.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Runs `job(0..n)` on `threads` scoped workers and returns the results in

@@ -64,30 +64,40 @@ pub fn render_json(cfg: &RunConfig, r: &TimingReport) -> String {
         // `serial_*` is the 1-worker reference for the same cell;
         // `speedup` is the per-cell serial/parallel wall ratio, the delta
         // regression tooling tracks across commits.
+        // `batch_steps_per_dispatch` is steps executed per entry into the
+        // kernel's inner step loop — >1 shows the batched fast-forward is
+        // engaging for the cell.
         cells.push_str(&format!(
             "    {{\"os\": {}, \"workload\": {}, \"wall_s\": {}, \"sim_events\": {}, \
-             \"events_per_sec\": {}, \"serial_wall_s\": {}, \
+             \"events_per_sec\": {}, \"batch_steps_per_dispatch\": {}, \
+             \"serial_wall_s\": {}, \
              \"serial_events_per_sec\": {}, \"speedup\": {}}}",
             json_str(t.os.name()),
             json_str(t.workload.name()),
             json_f64(t.wall_s),
             t.sim_events,
             json_f64(t.sim_events as f64 / t.wall_s.max(1e-9)),
+            json_f64(t.steps_executed as f64 / t.step_dispatches.max(1) as f64),
             json_f64(s.wall_s),
             json_f64(s.sim_events as f64 / s.wall_s.max(1e-9)),
             json_f64(s.wall_s / t.wall_s.max(1e-9))
         ));
     }
     let total_events: u64 = r.parallel.timings.iter().map(|t| t.sim_events).sum();
+    let total_steps: u64 = r.parallel.timings.iter().map(|t| t.steps_executed).sum();
+    let total_dispatches: u64 = r.parallel.timings.iter().map(|t| t.step_dispatches).sum();
     format!(
         "{{\n  \"artifact\": \"BENCH_cells\",\n  \"duration\": {},\n  \"seed\": {},\n  \
-         \"threads\": {},\n  \"serial_wall_s\": {},\n  \"parallel_wall_s\": {},\n  \
+         \"threads\": {},\n  \"host_cores\": {},\n  \
+         \"serial_wall_s\": {},\n  \"parallel_wall_s\": {},\n  \
          \"speedup\": {},\n  \"identical\": {},\n  \"total_sim_events\": {},\n  \
          \"events_per_sec\": {},\n  \"serial_events_per_sec\": {},\n  \
+         \"batch_steps_per_dispatch\": {},\n  \
          \"cells\": [\n{}\n  ]\n}}\n",
         json_str(&format!("{:?}", cfg.duration)),
         cfg.seed,
         r.parallel.threads,
+        crate::parallel::host_cores(),
         json_f64(r.serial.total_wall_s),
         json_f64(r.parallel.total_wall_s),
         json_f64(r.speedup()),
@@ -95,6 +105,7 @@ pub fn render_json(cfg: &RunConfig, r: &TimingReport) -> String {
         total_events,
         json_f64(total_events as f64 / r.parallel.total_wall_s.max(1e-9)),
         json_f64(total_events as f64 / r.serial.total_wall_s.max(1e-9)),
+        json_f64(total_steps as f64 / total_dispatches.max(1) as f64),
         cells
     )
 }
@@ -115,19 +126,20 @@ pub fn render_summary(r: &TimingReport) -> String {
         }
     );
     out += &format!(
-        "{:<16}{:<18}{:>10}{:>16}{:>14}{:>16}{:>9}\n",
-        "OS", "workload", "wall s", "sim events", "events/s", "serial ev/s", "speedup"
+        "{:<16}{:<18}{:>10}{:>16}{:>14}{:>16}{:>9}{:>12}\n",
+        "OS", "workload", "wall s", "sim events", "events/s", "serial ev/s", "speedup", "steps/disp"
     );
     for (t, s) in r.parallel.timings.iter().zip(&r.serial.timings) {
         out += &format!(
-            "{:<16}{:<18}{:>10.2}{:>16}{:>14.0}{:>16.0}{:>8.2}x\n",
+            "{:<16}{:<18}{:>10.2}{:>16}{:>14.0}{:>16.0}{:>8.2}x{:>12.2}\n",
             t.os.name(),
             t.workload.name(),
             t.wall_s,
             t.sim_events,
             t.sim_events as f64 / t.wall_s.max(1e-9),
             s.sim_events as f64 / s.wall_s.max(1e-9),
-            s.wall_s / t.wall_s.max(1e-9)
+            s.wall_s / t.wall_s.max(1e-9),
+            t.steps_executed as f64 / t.step_dispatches.max(1) as f64
         );
     }
     out
@@ -179,9 +191,26 @@ mod tests {
         assert_eq!(json.matches("\"serial_wall_s\":").count(), 8 + 1);
         assert_eq!(json.matches("\"serial_events_per_sec\":").count(), 8 + 1);
         assert_eq!(json.matches("\"speedup\":").count(), 8 + 1);
+        // Per-cell batch factor plus a grid-wide aggregate, and the host
+        // core count the speedup should be judged against.
+        assert_eq!(json.matches("\"batch_steps_per_dispatch\":").count(), 8 + 1);
+        assert_eq!(json.matches("\"host_cores\":").count(), 1);
+        // Batching must actually engage: every cell executes more than one
+        // step per dispatch into the kernel's inner loop.
+        for t in r.parallel.timings.iter().chain(&r.serial.timings) {
+            assert!(
+                t.steps_executed as f64 / t.step_dispatches.max(1) as f64 > 1.0,
+                "{} / {} cell must batch: {} steps in {} dispatches",
+                t.os.name(),
+                t.workload.name(),
+                t.steps_executed,
+                t.step_dispatches
+            );
+        }
         let text = render_summary(&r);
         assert!(text.contains("identical"));
         assert!(text.contains("serial ev/s"));
+        assert!(text.contains("steps/disp"));
     }
 
     #[test]

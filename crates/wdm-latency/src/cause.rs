@@ -18,7 +18,7 @@ use wdm_sim::{
     ids::{ThreadId, VectorId},
     kernel::Kernel,
     labels::{Label, SymbolTable},
-    observer::{IsrEnter, Observer, ThreadResume},
+    observer::{Interest, IsrEnter, Observer, ThreadResume},
     time::{Cycles, Instant},
 };
 
@@ -145,6 +145,10 @@ impl CauseTool {
 }
 
 impl Observer for CauseTool {
+    fn interest(&self) -> Interest {
+        Interest::ISR_ENTER | Interest::THREAD_RESUME
+    }
+
     fn on_isr_enter(&mut self, e: &IsrEnter) {
         if e.vector != self.pit_vector {
             return;

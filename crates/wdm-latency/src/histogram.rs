@@ -88,9 +88,17 @@ impl LatencyHistogram {
         self.max_ms
     }
 
-    /// Smallest sample (ms), +inf if empty.
+    /// Smallest sample (ms), 0 if empty.
+    ///
+    /// The field keeps `+inf` internally as the running-minimum identity;
+    /// the accessor masks it so empty histograms serialize as `0.0` rather
+    /// than `inf` (which is not valid JSON).
     pub fn min_ms(&self) -> f64 {
-        self.min_ms
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min_ms
+        }
     }
 
     /// Mean (ms), 0 if empty.
@@ -227,6 +235,20 @@ mod tests {
         assert_eq!(h.count(), 5);
         assert_eq!(h.max_ms(), 500.0);
         assert_eq!(h.min_ms(), 0.1);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_finite() {
+        let h = LatencyHistogram::fig4();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min_ms(), 0.0, "empty min must not be +inf");
+        assert_eq!(h.max_ms(), 0.0);
+        assert_eq!(h.mean_ms(), 0.0);
+        assert!(
+            h.min_ms().is_finite() && h.max_ms().is_finite() && h.mean_ms().is_finite(),
+            "every summary stat of an empty histogram must serialize cleanly"
+        );
+        assert_eq!(h.survival(1.0), 0.0);
     }
 
     #[test]

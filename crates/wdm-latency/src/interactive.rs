@@ -22,7 +22,7 @@ use wdm_sim::{
     irql::Irql,
     kernel::Kernel,
     object::EventKind,
-    observer::{Observer, ThreadResume},
+    observer::{Interest, Observer, ThreadResume},
     step::{OpSeq, Program, Step, StepCtx},
     time::Cycles,
 };
@@ -38,6 +38,10 @@ pub struct InteractiveRecords {
 }
 
 impl Observer for InteractiveRecords {
+    fn interest(&self) -> Interest {
+        Interest::THREAD_RESUME
+    }
+
     fn on_thread_resume(&mut self, e: &ThreadResume) {
         if e.thread != self.ui_thread {
             return;

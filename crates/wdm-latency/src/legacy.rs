@@ -20,7 +20,7 @@ use wdm_sim::{
     dpc::DpcImportance,
     ids::{DpcId, TimerId, VectorId},
     kernel::Kernel,
-    observer::{DpcStart, IsrEnter, Observer},
+    observer::{DpcStart, Interest, IsrEnter, Observer},
     step::{OpSeq, Program, Step, StepCtx},
     time::{Cycles, Instant},
 };
@@ -60,6 +60,10 @@ pub struct LegacyRecords {
 }
 
 impl Observer for LegacyRecords {
+    fn interest(&self) -> Interest {
+        Interest::ISR_ENTER | Interest::DPC_START
+    }
+
     fn on_isr_enter(&mut self, e: &IsrEnter) {
         if e.vector != self.pit_vector {
             return;

@@ -20,7 +20,7 @@ use wdm_sim::{
     irql::Irql,
     kernel::Kernel,
     labels::{Label, SymbolTable},
-    observer::{IsrEnter, Observer},
+    observer::{Interest, IsrEnter, Observer},
     step::{OpSeq, Step},
     time::Cycles,
 };
@@ -92,6 +92,10 @@ impl Profiler {
 }
 
 impl Observer for Profiler {
+    fn interest(&self) -> Interest {
+        Interest::ISR_ENTER
+    }
+
     fn on_isr_enter(&mut self, e: &IsrEnter) {
         if e.vector != self.vector {
             return;

@@ -15,7 +15,7 @@ pub fn render_distribution(name: &str, h: &LatencyHistogram) -> String {
     let mut out = format!(
         "{name}  (n = {}, min = {:.4} ms, mean = {:.4} ms, max = {:.3} ms)\n",
         h.count(),
-        if h.count() == 0 { 0.0 } else { h.min_ms() },
+        h.min_ms(),
         h.mean_ms(),
         h.max_ms()
     );

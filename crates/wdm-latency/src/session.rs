@@ -67,6 +67,12 @@ pub struct ScenarioMeasurement {
     /// Simulator decision-loop iterations the run executed (the bench
     /// harness reports this as events/sec in its timing artifact).
     pub sim_events: u64,
+    /// Program steps the kernel executed.
+    pub steps_executed: u64,
+    /// Entries into the kernel's inner step loops. `steps_executed /
+    /// step_dispatches` is the batch factor the bench harness reports as
+    /// `batch_steps_per_dispatch`.
+    pub step_dispatches: u64,
 }
 
 /// Extra knobs for a measurement run.
@@ -153,6 +159,8 @@ pub fn measure_scenario(
         waits_24: scenario.kernel.thread(session.rt24.thread).waits_satisfied,
         waits_28: scenario.kernel.thread(session.rt28.thread).waits_satisfied,
         sim_events: scenario.kernel.sim_events,
+        steps_executed: scenario.kernel.steps_executed,
+        step_dispatches: scenario.kernel.step_dispatches,
     }
 }
 

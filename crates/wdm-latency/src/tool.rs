@@ -31,7 +31,7 @@ use wdm_sim::{
     ids::{DpcId, EventId, IrpId, ThreadId, TimerId, VectorId, WaitObject},
     kernel::Kernel,
     object::EventKind,
-    observer::{DpcStart, IsrEnter, Observer, ThreadResume},
+    observer::{DpcStart, Interest, IsrEnter, Observer, ThreadResume},
     step::{Program, Step, StepCtx},
     time::{Cycles, Instant},
 };
@@ -382,6 +382,10 @@ impl TruthCollector {
 }
 
 impl Observer for TruthCollector {
+    fn interest(&self) -> Interest {
+        Interest::ISR_ENTER | Interest::DPC_START | Interest::THREAD_RESUME
+    }
+
     fn on_isr_enter(&mut self, e: &IsrEnter) {
         if e.vector != self.pit_vector {
             return;

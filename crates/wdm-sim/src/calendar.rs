@@ -263,6 +263,14 @@ impl Calendar {
 
     /// The next hardware wakeup: the earlier of the PIT tick and the next
     /// environment arrival.
+    ///
+    /// Both inputs advance only inside `fire_due_events` (PIT ticks via
+    /// [`Calendar::pop_due_tick`], arrivals via [`Calendar::pop_due_env`]),
+    /// never while simulated code executes steps. The kernel's batched step
+    /// loop relies on that: the value read at the top of a decision-loop
+    /// iteration stays the preemption horizon for the whole iteration
+    /// (DESIGN.md §8).
+    #[inline]
     pub fn next_wakeup(&self) -> Instant {
         let mut next = self.pit.next_tick;
         if let Some(&Reverse((t, _, _))) = self.env.peek() {

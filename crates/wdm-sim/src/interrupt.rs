@@ -103,6 +103,7 @@ impl InterruptController {
     ///
     /// Ties between same-IRQL vectors go to the lowest vector id (fixed
     /// priority, like PIC cascading).
+    #[inline]
     pub fn next_dispatchable(&self, current_irql: Irql) -> Option<VectorId> {
         self.next_matching(current_irql, false)
     }
@@ -113,10 +114,16 @@ impl InterruptController {
         self.next_matching(current_irql, true)
     }
 
+    #[inline]
     fn next_matching(&self, current_irql: Irql, nmi_only: bool) -> Option<VectorId> {
         // The shortlist is unordered, but the selection — highest IRQL,
         // ties to the lowest vector id — is order-independent, so the
         // result is identical to a full ordered scan of the vectors.
+        //
+        // Pending lines only ever appear via calendar-driven assertions
+        // (fire_due_events), never mid step-batch — which is what lets the
+        // batched step loop skip re-polling this between fused chunks
+        // (DESIGN.md §8).
         let mut best: Option<(Irql, VectorId)> = None;
         for &id in &self.pending {
             let v = &self.vectors[id.0];

@@ -39,7 +39,7 @@ use crate::{
     irql::Irql,
     labels::{Label, SymbolTable},
     object::{EventKind, KEvent, KMutex, KSemaphore},
-    observer::{DpcStart, IsrEnter, Observer, ThreadResume},
+    observer::{DpcStart, Interest, IsrEnter, Observer, ThreadResume},
     sched::ReadyQueues,
     step::{Blackboard, ExecState, Program, Step, StepCtx},
     thread::{Tcb, ThreadState},
@@ -167,7 +167,12 @@ pub struct Kernel {
     /// [`Kernel::fire_env`], which takes the slot to split borrows without
     /// allocating a placeholder source per arrival.
     env: Vec<Option<EnvSource>>,
-    observers: Vec<Rc<RefCell<dyn Observer>>>,
+    /// Observers paired with their sniffed [`Interest`] mask.
+    observers: Vec<(Rc<RefCell<dyn Observer>>, Interest)>,
+    /// Union of every registered observer's interest mask. An event kind
+    /// outside this union costs one branch: no event struct, no list
+    /// take/restore.
+    interest_union: Interest,
     resched: bool,
     current_label: Label,
     /// Cycle accounting by hierarchy level.
@@ -181,8 +186,32 @@ pub struct Kernel {
     pub busy_overruns: u64,
     /// Decision-loop iterations executed by [`Kernel::run_until`]. A cheap
     /// proxy for simulation work, reported as events/sec by the bench
-    /// harness timing artifact.
+    /// harness timing artifact. Busy chunks fast-forwarded inside the
+    /// batched inner loop count one each — exactly the outer-loop iteration
+    /// the single-step path would have spent on them — so the counter (and
+    /// with it every run digest) is independent of batching.
     pub sim_events: u64,
+    /// Program steps pulled by the ISR/DPC/thread step loops.
+    pub steps_executed: u64,
+    /// Entries into those step loops. `steps_executed / step_dispatches`
+    /// is the `batch_steps_per_dispatch` figure of the timing artifact;
+    /// values above 1 mean the inner loop is actually batching.
+    pub step_dispatches: u64,
+    /// Busy chunks charged inline by the batched inner loop (never handed
+    /// back to the outer decision loop).
+    pub batched_steps: u64,
+    /// Times the observer list was taken/restored for an event delivery.
+    /// The `sim_primitives` bench asserts this stays zero for event kinds
+    /// outside the registered interest union.
+    pub notify_takes: u64,
+    /// Preemption horizon of the current decision-loop iteration: the
+    /// earliest instant at which anything other than the running busy
+    /// chunk can need the CPU (next calendar wakeup or `run_until`'s end).
+    /// Chunks ending strictly before it are charged inline.
+    horizon: Instant,
+    /// Batched fast-forward enabled (default). The equivalence proptest
+    /// turns it off to drive the reference single-step path.
+    batching: bool,
     /// Reusable buffer for threads released by a signal; kept empty
     /// between signals so SetEvent/ReleaseSemaphore never allocate.
     wake_scratch: Vec<ThreadId>,
@@ -229,6 +258,7 @@ impl Kernel {
             pending_sections: VecDeque::new(),
             env: Vec::new(),
             observers: Vec::new(),
+            interest_union: Interest::NONE,
             resched: false,
             current_label: Label::IDLE,
             account: CycleAccount::default(),
@@ -236,6 +266,12 @@ impl Kernel {
             wait_timeouts: 0,
             busy_overruns: 0,
             sim_events: 0,
+            steps_executed: 0,
+            step_dispatches: 0,
+            batched_steps: 0,
+            notify_takes: 0,
+            horizon: Instant::ZERO,
+            batching: true,
             wake_scratch: Vec::new(),
             due_scratch: Vec::new(),
         }
@@ -405,8 +441,24 @@ impl Kernel {
     }
 
     /// Registers an observer. Keep a clone of the handle to read results.
+    ///
+    /// The observer's [`Interest`] mask is sniffed here, once; it must not
+    /// change afterwards. Event kinds outside the mask are never delivered
+    /// to it, and kinds outside the union of all masks are skipped before
+    /// the event struct is even built.
     pub fn add_observer<T: Observer + 'static>(&mut self, obs: ObserverHandle<T>) {
-        self.observers.push(obs);
+        let interest = obs.borrow().interest();
+        self.interest_union |= interest;
+        self.observers.push((obs, interest));
+    }
+
+    /// Enables or disables the batched fast-forward in the step loops
+    /// (enabled by default). With batching off every busy chunk goes back
+    /// through the outer decision loop — the reference path the
+    /// batched-vs-single-step equivalence proptest compares against. Both
+    /// settings produce byte-identical simulations.
+    pub fn set_step_batching(&mut self, on: bool) {
+        self.batching = on;
     }
 
     // ------------------------------------------------------------------
@@ -532,14 +584,25 @@ impl Kernel {
             self.sim_events += 1;
             // Deliver hardware events that are due.
             self.fire_due_events();
+            // Preemption horizon for this iteration: one calendar peek
+            // covers the PIT tick and the next environment arrival. Timer
+            // and wait deadlines are tick-granular (they fire *inside* the
+            // clock ISR, never between ticks), so the PIT tick already
+            // bounds them. Nothing below can move the calendar — ticks and
+            // arrivals pop only in `fire_due_events`, and `SetTimer` feeds
+            // the heaps `next_wakeup` does not read — so the horizon holds
+            // for the whole iteration and the batched step loops fast-
+            // forward busy chunks that end strictly before it.
+            self.horizon = t_end.min(self.calendar.next_wakeup());
             // Materialize what the CPU runs next; the outcome says whether
             // a frame or a thread owns the busy chunk (or the CPU is idle).
             let activity = self.ensure_activity();
-            // Next decision point: one calendar peek covers the PIT tick
-            // and the next environment arrival. Timer and wait deadlines
-            // are tick-granular (they fire *inside* the clock ISR, never
-            // between ticks), so the PIT tick already bounds them.
-            let mut next = t_end.min(self.calendar.next_wakeup());
+            debug_assert_eq!(
+                self.horizon,
+                t_end.min(self.calendar.next_wakeup()),
+                "calendar moved under a decision-loop iteration"
+            );
+            let mut next = self.horizon;
             match activity {
                 Activity::Idle => {}
                 Activity::Frame(b) => next = next.min(b),
@@ -950,13 +1013,15 @@ impl Kernel {
         match phase {
             0 => {
                 // Entry overhead done: the ISR's first instruction runs now.
-                let e = IsrEnter {
-                    vector,
-                    asserted,
-                    started: self.now,
-                    interrupted_label: interrupted,
-                };
-                self.notify(|o, k| o.on_isr_enter(k), &e);
+                if self.wants(Interest::ISR_ENTER) {
+                    let e = IsrEnter {
+                        vector,
+                        asserted,
+                        started: self.now,
+                        interrupted_label: interrupted,
+                    };
+                    self.notify(Interest::ISR_ENTER, |o, k| o.on_isr_enter(k), &e);
+                }
                 if is_pit {
                     // The clock ISR body: fixed cost plus per-due-timer work.
                     let due = self.due_timer_count();
@@ -1068,12 +1133,14 @@ impl Kernel {
                 (c.dpc, c.queued, c.started)
             };
             if !started {
-                let e = DpcStart {
-                    dpc,
-                    queued,
-                    started: self.now,
-                };
-                self.notify(|o, k| o.on_dpc_start(k), &e);
+                if self.wants(Interest::DPC_START) {
+                    let e = DpcStart {
+                        dpc,
+                        queued,
+                        started: self.now,
+                    };
+                    self.notify(Interest::DPC_START, |o, k| o.on_dpc_start(k), &e);
+                }
                 self.dpcs[dpc.0].run_count += 1;
                 {
                     let Frame {
@@ -1131,7 +1198,18 @@ impl Kernel {
         }
     }
 
-    /// Pulls steps from the frame's program until a busy chunk or return.
+    /// Pulls steps from the frame's program until a busy chunk that must go
+    /// back through the decision loop, or return.
+    ///
+    /// Busy chunks ending strictly before the iteration's preemption
+    /// horizon are charged inline and the loop keeps pulling steps: while
+    /// the frame computes below the horizon no interrupt can become
+    /// dispatchable (new assertions come only from calendar events, and the
+    /// frame's IRQL is constant between kernel-interacting steps), no DPC
+    /// can preempt it, and the calendar cannot fire — so the outer loop's
+    /// re-checks are provably no-ops and are skipped. Each inline charge
+    /// bumps `sim_events` by the one iteration the single-step path would
+    /// have spent, keeping run digests byte-identical.
     fn run_frame_steps(&mut self, idx: usize) -> FrameOutcome {
         let mut program = self.take_frame_program(idx);
         let Some(p) = program.as_mut() else {
@@ -1139,6 +1217,7 @@ impl Kernel {
             self.retire_frame_body(idx);
             return FrameOutcome::Changed;
         };
+        self.step_dispatches += 1;
         let mut guard = 0u32;
         loop {
             guard += 1;
@@ -1151,8 +1230,25 @@ impl Kernel {
                 last_wait_index: 0,
             };
             let step = p.step(&mut ctx);
+            self.steps_executed += 1;
             match step {
                 Step::Busy { cycles, label } => {
+                    let end = self.now + cycles;
+                    if self.batching && end < self.horizon {
+                        // Fast-forward: charge the whole chunk here. A
+                        // chunk ending exactly at the horizon is NOT fused
+                        // — due events must fire before the next step.
+                        match self.frames[idx].kind {
+                            FrameKind::Isr { .. } => self.account.isr += cycles.0,
+                            FrameKind::DpcDrain { .. } => self.account.dpc += cycles.0,
+                            _ => unreachable!("step loop on a cli/section frame"),
+                        }
+                        self.current_label = label;
+                        self.now = end;
+                        self.sim_events += 1;
+                        self.batched_steps += 1;
+                        continue;
+                    }
                     self.frames[idx].exec = ExecState::Busy {
                         remaining: cycles,
                         label,
@@ -1257,13 +1353,15 @@ impl Kernel {
                     // Dispatch complete: if the thread was readied from a
                     // wait, its first post-wait instruction runs now.
                     if let Some(readied) = tcb.readied_at.take() {
-                        let e = ThreadResume {
-                            thread: t,
-                            priority: self.threads[t.0].priority,
-                            readied,
-                            started: self.now,
-                        };
-                        self.notify(|o, k| o.on_thread_resume(k), &e);
+                        if self.wants(Interest::THREAD_RESUME) {
+                            let e = ThreadResume {
+                                thread: t,
+                                priority: self.threads[t.0].priority,
+                                readied,
+                                started: self.now,
+                            };
+                            self.notify(Interest::THREAD_RESUME, |o, k| o.on_thread_resume(k), &e);
+                        }
                     }
                 } else {
                     tcb.exec = ExecState::NeedStep;
@@ -1314,7 +1412,27 @@ impl Kernel {
         }
     }
 
+    /// Pulls steps from the thread's program (or active APC) until a step
+    /// that must go back through the decision loop.
+    ///
+    /// Like [`Kernel::run_frame_steps`], busy chunks ending strictly before
+    /// the preemption horizon are charged inline — here the horizon is
+    /// additionally clipped to quantum expiry, so priority decay and
+    /// round-robin keep their exact single-step timing. Between fused
+    /// chunks nothing the outer loop re-checks can change: interrupts
+    /// assert only from calendar events, DPCs queue and threads ready only
+    /// from kernel-interacting steps (which all exit this loop), and the
+    /// thread's IRQL is constant. Each inline charge bumps `sim_events` by
+    /// the one outer iteration the single-step path would have spent.
     fn run_thread_steps(&mut self, t: ThreadId) -> ThreadOutcome {
+        self.step_dispatches += 1;
+        // `maybe_expire_quantum` ran just before this call, so the quantum
+        // is non-zero and `now + quantum_remaining` is the expiry instant;
+        // inline charges advance `now` and shrink the quantum in lockstep,
+        // keeping the absolute horizon fixed for the whole batch.
+        let horizon = self
+            .horizon
+            .min(self.now + self.threads[t.0].quantum_remaining);
         let mut guard = 0u32;
         loop {
             guard += 1;
@@ -1408,13 +1526,31 @@ impl Kernel {
                     _ => {}
                 }
             }
+            self.steps_executed += 1;
             match step {
                 Step::Busy { cycles, label } => {
+                    let end = self.now + cycles;
+                    if self.batching && end < horizon {
+                        // Fast-forward: program work ticks the quantum
+                        // (this is never dispatch overhead). A chunk
+                        // ending exactly at the horizon is NOT fused — due
+                        // events and quantum expiry must be processed
+                        // before the next step.
+                        let tcb = &mut self.threads[t.0];
+                        debug_assert!(!tcb.in_overhead, "fused chunk during overhead");
+                        tcb.quantum_remaining = tcb.quantum_remaining.saturating_sub(cycles);
+                        self.account.thread += cycles.0;
+                        self.current_label = label;
+                        self.now = end;
+                        self.sim_events += 1;
+                        self.batched_steps += 1;
+                        continue;
+                    }
                     self.threads[t.0].exec = ExecState::Busy {
                         remaining: cycles,
                         label,
                     };
-                    return ThreadOutcome::Running(self.now + cycles);
+                    return ThreadOutcome::Running(end);
                 }
                 Step::BusyCli { cycles, label } => {
                     self.push_cli(cycles, label);
@@ -1663,12 +1799,19 @@ impl Kernel {
                 // Take the list instead of cloning every Rc per completion;
                 // observers have no kernel handle, so the list cannot
                 // change under the loop. Merge-restore anyway for safety.
-                let mut obs = std::mem::take(&mut self.observers);
-                for o in &obs {
-                    o.borrow_mut().on_irp_complete(irp, &self.board, now);
+                // Inlined (not routed through `notify`) because the hook
+                // borrows `self.board` alongside the observer list.
+                if self.wants(Interest::IRP_COMPLETE) {
+                    self.notify_takes += 1;
+                    let mut obs = std::mem::take(&mut self.observers);
+                    for (o, m) in &obs {
+                        if m.contains(Interest::IRP_COMPLETE) {
+                            o.borrow_mut().on_irp_complete(irp, &self.board, now);
+                        }
+                    }
+                    obs.append(&mut self.observers);
+                    self.observers = obs;
                 }
-                obs.append(&mut self.observers);
-                self.observers = obs;
             }
             other => unreachable!("apply_service_step got {other:?}"),
         }
@@ -1832,12 +1975,19 @@ impl Kernel {
         self.current_thread = Some(next);
         self.context_switches += 1;
         // See `notify` for why taking (not cloning) the list is sound.
-        let mut obs = std::mem::take(&mut self.observers);
-        for o in &obs {
-            o.borrow_mut().on_context_switch(from, next, now);
+        // Context switches are the highest-rate event kind, so the
+        // interest-union branch here pays for the whole mask machinery.
+        if self.wants(Interest::CONTEXT_SWITCH) {
+            self.notify_takes += 1;
+            let mut obs = std::mem::take(&mut self.observers);
+            for (o, m) in &obs {
+                if m.contains(Interest::CONTEXT_SWITCH) {
+                    o.borrow_mut().on_context_switch(from, next, now);
+                }
+            }
+            obs.append(&mut self.observers);
+            self.observers = obs;
         }
-        obs.append(&mut self.observers);
-        self.observers = obs;
     }
 
     // --------------------------------------------------------------
@@ -1936,14 +2086,29 @@ impl Kernel {
         self.due_scratch = due;
     }
 
-    /// Invokes `f` on every observer without cloning the `Vec<Rc<_>>` per
-    /// event. Observers hold no kernel handle (`add_observer` needs
-    /// `&mut Kernel`), so no callback can mutate the list mid-iteration;
-    /// the take/merge-restore keeps even that hypothetical sound.
-    fn notify<E, F: Fn(&mut dyn Observer, &E)>(&mut self, f: F, e: &E) {
+    /// True if any registered observer consumes events of `kind`. Call
+    /// sites check this before building the event struct, so a kind nobody
+    /// wants costs exactly one branch.
+    #[inline]
+    fn wants(&self, kind: Interest) -> bool {
+        self.interest_union.contains(kind)
+    }
+
+    /// Invokes `f` on every observer interested in `kind` without cloning
+    /// the `Vec<Rc<_>>` per event. Observers hold no kernel handle
+    /// (`add_observer` needs `&mut Kernel`), so no callback can mutate the
+    /// list mid-iteration; the take/merge-restore keeps even that
+    /// hypothetical sound. Callers gate on [`Kernel::wants`] first —
+    /// `notify_takes` counts every take so the masked-delivery bench can
+    /// assert uninterested kinds never reach this point.
+    fn notify<E, F: Fn(&mut dyn Observer, &E)>(&mut self, kind: Interest, f: F, e: &E) {
+        debug_assert!(self.wants(kind), "notify for a kind nobody declared");
+        self.notify_takes += 1;
         let mut obs = std::mem::take(&mut self.observers);
-        for o in &obs {
-            f(&mut *o.borrow_mut(), e);
+        for (o, m) in &obs {
+            if m.contains(kind) {
+                f(&mut *o.borrow_mut(), e);
+            }
         }
         obs.append(&mut self.observers);
         self.observers = obs;

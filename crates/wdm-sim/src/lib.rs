@@ -92,7 +92,7 @@ pub mod prelude {
         kernel::{CycleAccount, Kernel, ObserverHandle},
         labels::{Label, SymbolTable},
         object::EventKind,
-        observer::{DpcStart, IsrEnter, Observer, ThreadResume},
+        observer::{DpcStart, Interest, IsrEnter, Observer, ThreadResume},
         step::{Blackboard, FnProgram, LoopSeq, OpSeq, Program, Step, StepCtx},
         thread::{ThreadState, RT_DEFAULT_PRIORITY, RT_HIGH_PRIORITY},
         time::{Cycles, Instant, DEFAULT_CPU_HZ},

@@ -54,10 +54,72 @@ pub struct ThreadResume {
     pub started: Instant,
 }
 
+/// Bitmask of event kinds an [`Observer`] consumes — one bit per hook.
+///
+/// The kernel folds every registered observer's mask into a union at
+/// [`crate::kernel::Kernel::add_observer`] time. An event kind with no
+/// interested observer costs one branch in the hot loop: no event struct is
+/// built and the observer list is never taken/restored. Within a delivery,
+/// only observers whose mask contains the kind are called.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// No event kinds.
+    pub const NONE: Interest = Interest(0);
+    /// [`Observer::on_isr_enter`].
+    pub const ISR_ENTER: Interest = Interest(1 << 0);
+    /// [`Observer::on_dpc_start`].
+    pub const DPC_START: Interest = Interest(1 << 1);
+    /// [`Observer::on_thread_resume`].
+    pub const THREAD_RESUME: Interest = Interest(1 << 2);
+    /// [`Observer::on_irp_complete`].
+    pub const IRP_COMPLETE: Interest = Interest(1 << 3);
+    /// [`Observer::on_context_switch`].
+    pub const CONTEXT_SWITCH: Interest = Interest(1 << 4);
+    /// Every event kind (the default for observers that do not narrow).
+    pub const ALL: Interest = Interest(0b1_1111);
+
+    /// True if this mask includes any kind of `other`.
+    pub const fn contains(self, other: Interest) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// True if no kinds are set.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl core::ops::BitOr for Interest {
+    type Output = Interest;
+
+    fn bitor(self, rhs: Interest) -> Interest {
+        Interest(self.0 | rhs.0)
+    }
+}
+
+impl core::ops::BitOrAssign for Interest {
+    fn bitor_assign(&mut self, rhs: Interest) {
+        self.0 |= rhs.0;
+    }
+}
+
 /// Receives kernel instrumentation events.
 ///
 /// All methods default to no-ops so observers implement only what they need.
 pub trait Observer {
+    /// Which event kinds this observer consumes. Sniffed once, at
+    /// [`crate::kernel::Kernel::add_observer`] time.
+    ///
+    /// Defaults to [`Interest::ALL`] so hand-written observers keep seeing
+    /// everything. Override with the exact set of implemented hooks to keep
+    /// high-rate kinds (context switches above all) off the hot path; the
+    /// kernel will never call a hook outside the declared mask.
+    fn interest(&self) -> Interest {
+        Interest::ALL
+    }
+
     /// An ISR entered. Fires for every vector, including the PIT.
     fn on_isr_enter(&mut self, _e: &IsrEnter) {}
 
@@ -102,5 +164,25 @@ mod tests {
             started: Instant(1),
         });
         n.on_context_switch(None, ThreadId(0), Instant(2));
+    }
+
+    #[test]
+    fn default_interest_is_all() {
+        assert_eq!(Nop.interest(), Interest::ALL);
+    }
+
+    #[test]
+    fn interest_mask_algebra() {
+        let m = Interest::ISR_ENTER | Interest::DPC_START;
+        assert!(m.contains(Interest::ISR_ENTER));
+        assert!(m.contains(Interest::DPC_START));
+        assert!(!m.contains(Interest::THREAD_RESUME));
+        assert!(!m.contains(Interest::CONTEXT_SWITCH));
+        assert!(Interest::NONE.is_empty());
+        assert!(!Interest::NONE.contains(Interest::ALL));
+        assert!(Interest::ALL.contains(Interest::IRP_COMPLETE));
+        let mut u = Interest::NONE;
+        u |= Interest::THREAD_RESUME;
+        assert!(u.contains(Interest::THREAD_RESUME) && !u.contains(Interest::ISR_ENTER));
     }
 }

@@ -27,6 +27,7 @@ impl ReadyQueues {
     }
 
     /// Enqueues a readied thread at the tail of its priority queue.
+    #[inline]
     pub fn push_back(&mut self, t: ThreadId, priority: u8) {
         self.queues[priority as usize].push_back(t);
         self.nonempty |= 1 << priority;
@@ -39,6 +40,11 @@ impl ReadyQueues {
     }
 
     /// Highest non-empty priority, if any thread is ready.
+    ///
+    /// One `lzcnt` over the non-empty bitmap — the batched step loop
+    /// consults this through `ensure_activity` once per decision-loop
+    /// iteration, so it must stay branch-light.
+    #[inline]
     pub fn highest_priority(&self) -> Option<u8> {
         if self.nonempty == 0 {
             None
@@ -87,6 +93,7 @@ impl ReadyQueues {
     }
 
     /// True if no threads are ready.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.nonempty == 0
     }

@@ -219,6 +219,13 @@ impl Blackboard {
 ///
 /// Suitable for ISR and DPC bodies, which in WDM are run-to-completion.
 /// After the sequence is exhausted the program yields [`Step::Return`].
+///
+/// Consecutive [`Step::Busy`] entries are deliberately *not* merged at
+/// construction time: each step is one simulated event, so merging would
+/// change `sim_events` and the label the interrupt path attributes to a
+/// preempted chunk. The kernel instead fast-forwards whole runs of busy
+/// steps at execution time when no preemption can land between them
+/// (see DESIGN.md §8), which is observationally identical.
 #[derive(Debug, Clone)]
 pub struct OpSeq {
     steps: Vec<Step>,
@@ -237,6 +244,7 @@ impl Program for OpSeq {
         self.next = 0;
     }
 
+    #[inline]
     fn step(&mut self, _ctx: &mut StepCtx<'_>) -> Step {
         match self.steps.get(self.next) {
             Some(&s) => {
@@ -266,6 +274,7 @@ impl LoopSeq {
 }
 
 impl Program for LoopSeq {
+    #[inline]
     fn step(&mut self, _ctx: &mut StepCtx<'_>) -> Step {
         let s = self.steps[self.next];
         self.next = (self.next + 1) % self.steps.len();
@@ -286,6 +295,7 @@ impl<F: FnMut(&mut StepCtx<'_>) -> Step> FnProgram<F> {
 }
 
 impl<F: FnMut(&mut StepCtx<'_>) -> Step> Program for FnProgram<F> {
+    #[inline]
     fn step(&mut self, ctx: &mut StepCtx<'_>) -> Step {
         (self.f)(ctx)
     }

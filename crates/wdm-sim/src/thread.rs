@@ -51,6 +51,12 @@ pub struct Tcb {
     /// Whether `begin` has been delivered to the program.
     pub started: bool,
     /// Remaining quantum in cycles.
+    ///
+    /// The batched step loop clips its fast-forward horizon to
+    /// `now + quantum_remaining` at dispatch and charges each fused chunk
+    /// against this field in lockstep with `now`, so the absolute expiry
+    /// instant a single-stepping kernel would observe is preserved exactly
+    /// (DESIGN.md §8).
     pub quantum_remaining: Cycles,
     /// What the thread is blocked on, if waiting on an object.
     pub wait: Option<WaitObject>,

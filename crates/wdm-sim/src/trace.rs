@@ -9,7 +9,7 @@ use std::collections::VecDeque;
 
 use crate::{
     ids::ThreadId,
-    observer::{DpcStart, IsrEnter, Observer, ThreadResume},
+    observer::{DpcStart, Interest, IsrEnter, Observer, ThreadResume},
     time::Instant,
 };
 
@@ -160,6 +160,10 @@ impl EventTrace {
 }
 
 impl Observer for EventTrace {
+    fn interest(&self) -> Interest {
+        Interest::ISR_ENTER | Interest::DPC_START | Interest::THREAD_RESUME | Interest::CONTEXT_SWITCH
+    }
+
     fn on_isr_enter(&mut self, e: &IsrEnter) {
         self.push(TraceEvent::Isr {
             vector: e.vector.0,
