@@ -13,6 +13,7 @@ fn quick() -> RunConfig {
         duration: Duration::Minutes(0.05),
         seed: 1999,
         threads: 0,
+        shards: 1,
     }
 }
 

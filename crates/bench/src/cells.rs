@@ -26,6 +26,15 @@ impl Duration {
             Duration::FullCollection => UsageModel::of(w).collect_hours_per_week(),
         }
     }
+
+    /// Simulated minutes for a workload (the shard planner's unit: block
+    /// maxima use one-minute blocks, so shard boundaries fall on minutes).
+    pub fn minutes_for(&self, w: WorkloadKind) -> f64 {
+        match self {
+            Duration::Minutes(m) => *m,
+            Duration::FullCollection => UsageModel::of(w).collect_hours_per_week() * 60.0,
+        }
+    }
 }
 
 /// Run configuration shared by all harnesses.
@@ -39,6 +48,13 @@ pub struct RunConfig {
     /// available core. Any value produces byte-identical output — each run
     /// seeds from the job alone and results are collected in job order.
     pub threads: usize,
+    /// Time shards per cell (>= 1). Each cell's collection window splits
+    /// into up to this many independent whole-minute simulations, fanned
+    /// out alongside the cells themselves and merged exactly (DESIGN.md
+    /// §9). `1` is the classic single-simulation path, bit-identical to
+    /// the pre-shard harness; a given `shards` value is bit-identical at
+    /// every thread count.
+    pub shards: usize,
 }
 
 impl Default for RunConfig {
@@ -47,6 +63,7 @@ impl Default for RunConfig {
             duration: Duration::Minutes(2.0),
             seed: 1999, // OSDI '99.
             threads: 0,
+            shards: 1,
         }
     }
 }
@@ -62,14 +79,87 @@ pub fn cell_seed(base: u64, os: OsKind, w: WorkloadKind) -> u64 {
     base.wrapping_mul(1_000_003) ^ (os_ix * 97) ^ (w_ix * 1009)
 }
 
-/// Measures one cell with default tool options.
+/// Deterministic per-shard seed: an splitmix64-style finalizer over the
+/// cell seed and shard index. Used only when a cell actually splits
+/// (`shards > 1`), so every shard's RNG stream is independent of the other
+/// shards *and* of the unsharded cell stream (shard 0 is not the prefix of
+/// a `--shards 1` run; the two are statistically, not bitwise, comparable).
+pub fn shard_seed(cell_seed: u64, shard_ix: usize) -> u64 {
+    let mut z = cell_seed ^ (shard_ix as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Splits `minutes` of collection into at most `shards` pieces whose
+/// boundaries all fall on whole minutes (the block-maxima granularity, so
+/// per-shard blocks concatenate exactly). Whole minutes distribute as
+/// evenly as possible, earlier shards taking the remainder; a fractional
+/// tail rides on the last shard. Windows shorter than two whole minutes
+/// cannot split and return a single shard.
+pub fn shard_plan(minutes: f64, shards: usize) -> Vec<f64> {
+    let whole = (minutes + 1e-9).floor() as usize;
+    let k = shards.max(1).min(whole.max(1));
+    if k <= 1 {
+        return vec![minutes];
+    }
+    let (q, r) = (whole / k, whole % k);
+    let mut plan: Vec<f64> = (0..k).map(|i| (q + usize::from(i < r)) as f64).collect();
+    *plan.last_mut().expect("k >= 1") += (minutes - whole as f64).max(0.0);
+    plan
+}
+
+/// One independent simulation job: a whole cell, or one time shard of it.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardSpec {
+    /// RNG seed for this shard's simulation.
+    pub seed: u64,
+    /// Simulated hours this shard collects.
+    pub hours: f64,
+    /// Whole minutes to close the block-maxima windows at after the run
+    /// (`None` on the classic single-shard path, which leaves the final
+    /// in-progress block open exactly as the pre-shard harness did).
+    pub close_minutes: Option<usize>,
+}
+
+/// The shard jobs for one cell under `cfg`, in time order. A single entry
+/// (with the cell's own seed and no block closing) when the cell does not
+/// split — that path is bit-identical to the pre-shard harness.
+pub fn cell_shards(cfg: &RunConfig, os: OsKind, w: WorkloadKind) -> Vec<ShardSpec> {
+    let base = cell_seed(cfg.seed, os, w);
+    let plan = shard_plan(cfg.duration.minutes_for(w), cfg.shards);
+    if plan.len() <= 1 {
+        return vec![ShardSpec {
+            seed: base,
+            hours: cfg.duration.hours_for(w),
+            close_minutes: None,
+        }];
+    }
+    plan.iter()
+        .enumerate()
+        .map(|(i, &m)| ShardSpec {
+            seed: shard_seed(base, i),
+            hours: m / 60.0,
+            close_minutes: Some((m + 1e-9).floor() as usize),
+        })
+        .collect()
+}
+
+/// Runs one shard job with default tool options.
+pub fn measure_shard(spec: &ShardSpec, os: OsKind, w: WorkloadKind) -> ScenarioMeasurement {
+    let mut m = measure_scenario(os, w, spec.seed, spec.hours, &MeasureOptions::default());
+    if let Some(minutes) = spec.close_minutes {
+        m.close_blocks(minutes);
+    }
+    m
+}
+
+/// Measures one cell with default tool options, honoring `cfg.shards`
+/// (shards run serially here; [`measure_all_timed`] fans them out).
 pub fn measure_cell(cfg: &RunConfig, os: OsKind, w: WorkloadKind) -> ScenarioMeasurement {
-    measure_scenario(
-        os,
-        w,
-        cell_seed(cfg.seed, os, w),
-        cfg.duration.hours_for(w),
-        &MeasureOptions::default(),
+    let shards = cell_shards(cfg, os, w);
+    ScenarioMeasurement::merge_shards(
+        shards.iter().map(|s| measure_shard(s, os, w)).collect(),
     )
 }
 
@@ -92,7 +182,8 @@ pub struct CellTiming {
     pub os: OsKind,
     /// Which stress load ran.
     pub workload: WorkloadKind,
-    /// Host wall-clock seconds the cell took.
+    /// Host wall-clock seconds the cell took (summed over its shards: the
+    /// cell's total compute, not its critical path).
     pub wall_s: f64,
     /// Simulator decision-loop iterations the cell executed.
     pub sim_events: u64,
@@ -102,6 +193,33 @@ pub struct CellTiming {
     /// reports `steps_executed / step_dispatches` per cell as
     /// `batch_steps_per_dispatch`.
     pub step_dispatches: u64,
+    /// Wall-clock seconds of each shard, time order (one entry on the
+    /// unsharded path). The artifact reports these plus the max/mean
+    /// imbalance so load-balance losses in the 8 x K fan-out are visible.
+    pub shard_wall_s: Vec<f64>,
+}
+
+impl CellTiming {
+    /// Shards this cell actually split into.
+    pub fn shards(&self) -> usize {
+        self.shard_wall_s.len()
+    }
+
+    /// Max shard wall over mean shard wall (1.0 = perfectly balanced; the
+    /// scheduler can hide anything below `shards / busy_workers`).
+    pub fn shard_imbalance(&self) -> f64 {
+        shard_imbalance(&self.shard_wall_s)
+    }
+}
+
+/// Max/mean ratio of a wall-clock list (1.0 for empty or single entries).
+pub fn shard_imbalance(walls: &[f64]) -> f64 {
+    if walls.len() <= 1 {
+        return 1.0;
+    }
+    let max = walls.iter().cloned().fold(0.0, f64::max);
+    let mean = walls.iter().sum::<f64>() / walls.len() as f64;
+    max / mean.max(1e-12)
 }
 
 /// The 8 cells plus harness timing metadata (the `timing` artifact).
@@ -118,35 +236,56 @@ pub struct TimedCells {
 
 /// Measures all 8 cells and records per-cell wall-clock cost.
 ///
-/// Cells are independent simulations (each seeds from
-/// [`cell_seed`] alone), so they fan out over scoped worker threads; the
-/// results are collected by job index, which keeps the output byte-identical
-/// to a serial run at any thread count.
+/// Every cell expands into its shard jobs first, so the worker pool sees the
+/// flat 8 x K job list (shards are independent simulations just like cells —
+/// each seeds from its [`ShardSpec`] alone). Results are collected by job
+/// index and merged per cell in time order, which keeps the output
+/// byte-identical to a serial run at any thread count.
 pub fn measure_all_timed(cfg: &RunConfig) -> TimedCells {
-    let jobs: Vec<(OsKind, WorkloadKind)> = [OsKind::Nt4, OsKind::Win98]
+    let cells: Vec<(OsKind, WorkloadKind)> = [OsKind::Nt4, OsKind::Win98]
         .into_iter()
         .flat_map(|os| WorkloadKind::ALL.into_iter().map(move |w| (os, w)))
+        .collect();
+    let jobs: Vec<(usize, ShardSpec)> = cells
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, &(os, w))| {
+            cell_shards(cfg, os, w).into_iter().map(move |s| (ci, s))
+        })
         .collect();
     let threads = crate::parallel::effective_threads(cfg.threads, jobs.len());
     let t0 = std::time::Instant::now();
     let results = crate::parallel::parallel_map(jobs.len(), threads, |i| {
-        let (os, w) = jobs[i];
+        let (ci, spec) = jobs[i];
+        let (os, w) = cells[ci];
         let t = std::time::Instant::now();
-        let m = measure_cell(cfg, os, w);
+        let m = measure_shard(&spec, os, w);
         (m, t.elapsed().as_secs_f64())
     });
     let total_wall_s = t0.elapsed().as_secs_f64();
-    let mut timings = Vec::with_capacity(jobs.len());
+
+    // Regroup the flat results per cell; job order within a cell is shard
+    // time order, so the fold in `merge_shards` is the exact concatenation.
+    let mut per_cell: Vec<(Vec<ScenarioMeasurement>, Vec<f64>)> =
+        cells.iter().map(|_| (Vec::new(), Vec::new())).collect();
+    for (&(ci, _), (m, wall_s)) in jobs.iter().zip(results) {
+        per_cell[ci].0.push(m);
+        per_cell[ci].1.push(wall_s);
+    }
+
+    let mut timings = Vec::with_capacity(cells.len());
     let mut nt = Vec::new();
     let mut win98 = Vec::new();
-    for (&(os, workload), (m, wall_s)) in jobs.iter().zip(results) {
+    for (&(os, workload), (shards, shard_wall_s)) in cells.iter().zip(per_cell) {
+        let m = ScenarioMeasurement::merge_shards(shards);
         timings.push(CellTiming {
             os,
             workload,
-            wall_s,
+            wall_s: shard_wall_s.iter().sum(),
             sim_events: m.sim_events,
             steps_executed: m.steps_executed,
             step_dispatches: m.step_dispatches,
+            shard_wall_s,
         });
         match os {
             OsKind::Nt4 => nt.push(m),
@@ -231,11 +370,87 @@ mod tests {
             duration: Duration::Minutes(0.05),
             seed: 3,
             threads: 0,
+            shards: 1,
         };
         let m = measure_cell(&cfg, OsKind::Nt4, WorkloadKind::Web);
         // Every-tick series sees ~3k samples in 3 s; the per-round series
         // is bounded by tool cadence.
         assert!(m.int_to_isr_all_ticks.hist.count() > 1000);
         assert!(m.int_to_isr.hist.count() > 200);
+    }
+
+    #[test]
+    fn shard_plan_covers_the_window_on_whole_minute_boundaries() {
+        for &(minutes, shards) in
+            &[(4.0, 4), (5.0, 2), (7.3, 3), (12.5 * 60.0, 8), (1.0, 4), (0.2, 4)]
+        {
+            let plan = shard_plan(minutes, shards);
+            assert!(plan.len() <= shards.max(1));
+            let total: f64 = plan.iter().sum();
+            assert!((total - minutes).abs() < 1e-6, "plan {plan:?} loses time");
+            // Every boundary between shards falls on a whole minute.
+            let mut edge = 0.0;
+            for &m in &plan[..plan.len() - 1] {
+                edge += m;
+                assert!((edge - edge.round()).abs() < 1e-6, "edge {edge} not whole");
+                assert!(m >= 1.0 - 1e-9, "empty shard in {plan:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sub_minute_windows_never_split() {
+        assert_eq!(shard_plan(0.2, 16), vec![0.2]);
+        assert_eq!(shard_plan(1.0, 3), vec![1.0]);
+    }
+
+    #[test]
+    fn shard_seeds_are_distinct_from_each_other_and_the_cell_seed() {
+        let base = cell_seed(1999, OsKind::Nt4, WorkloadKind::Business);
+        let mut seen = std::collections::HashSet::from([base]);
+        for i in 0..64 {
+            assert!(seen.insert(shard_seed(base, i)));
+        }
+    }
+
+    #[test]
+    fn single_shard_spec_is_the_legacy_path() {
+        let cfg = RunConfig {
+            duration: Duration::Minutes(0.2),
+            seed: 1999,
+            threads: 1,
+            shards: 8,
+        };
+        // Sub-minute window: exactly one shard with the cell's own seed and
+        // no block closing, i.e. the pre-shard harness.
+        let specs = cell_shards(&cfg, OsKind::Win98, WorkloadKind::Games);
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].seed, cell_seed(1999, OsKind::Win98, WorkloadKind::Games));
+        assert_eq!(specs[0].close_minutes, None);
+    }
+
+    #[test]
+    fn sharded_cell_measures_and_totals_the_window() {
+        let cfg = RunConfig {
+            duration: Duration::Minutes(2.0),
+            seed: 5,
+            threads: 1,
+            shards: 2,
+        };
+        let specs = cell_shards(&cfg, OsKind::Nt4, WorkloadKind::Business);
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].close_minutes, Some(1));
+        let m = measure_cell(&cfg, OsKind::Nt4, WorkloadKind::Business);
+        assert!((m.collected_hours - 2.0 / 60.0).abs() < 1e-9);
+        // Two closed one-minute shards concatenate to two completed blocks.
+        assert_eq!(m.int_to_isr_all_ticks.blocks.maxima().len(), 2);
+        assert!(m.int_to_isr_all_ticks.hist.count() > 1000);
+    }
+
+    #[test]
+    fn imbalance_is_max_over_mean() {
+        assert_eq!(shard_imbalance(&[]), 1.0);
+        assert_eq!(shard_imbalance(&[3.0]), 1.0);
+        assert!((shard_imbalance(&[1.0, 3.0]) - 1.5).abs() < 1e-12);
     }
 }

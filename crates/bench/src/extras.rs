@@ -582,6 +582,7 @@ mod tests {
             duration: Duration::Minutes(0.1),
             seed: 5,
             threads: 0,
+            shards: 1,
         };
         let cells = measure_all(&cfg);
         let t = throughput(&cells);

@@ -219,6 +219,7 @@ mod tests {
             duration: Duration::Minutes(0.05),
             seed: 5,
             threads: 0,
+            shards: 1,
         }
     }
 

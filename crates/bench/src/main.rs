@@ -3,37 +3,43 @@
 //! and Windows 98"* on the simulated substrate.
 //!
 //! ```text
-//! repro <artifact> [--minutes N | --full] [--seed S] [--threads T] [--out DIR]
+//! repro <artifact> [--minutes N | --full] [--seed S] [--threads T]
+//!                  [--shards K] [--out DIR]
 //!
 //! artifacts:
 //!   table1 table2 table3 table4 figure4 figure5 figure6 figure7
 //!   throughput validate-mttf sched feasibility win2000 microbench
-//!   interactive stability ablations timing all
+//!   interactive stability ablations timing digest all
 //! ```
 //!
 //! `--full` collects for the paper's §3.1 durations (4–12.5 simulated hours
 //! per cell); the default is 2 simulated minutes per cell, which reproduces
 //! the shape but under-samples the weekly tails. `--threads` fans
 //! independent runs out over worker threads (0 or omitted = one per core);
-//! output is byte-identical at any thread count.
+//! output is byte-identical at any thread count. `--shards K` splits each
+//! cell's window into up to K independent whole-minute simulations so the
+//! fan-out has 8 x K jobs to balance (DESIGN.md §9); a given K is
+//! byte-identical at every thread count, and `--shards 1` (the default) is
+//! bit-identical to the unsharded harness.
 
 use wdm_bench::{
-    cells::{measure_all, Duration, RunConfig},
+    cells::{measure_all, summary_digest, Duration, RunConfig},
     extras, figures, output, tables, timing,
 };
 
-const USAGE: &str = "usage: repro <artifact> [--minutes N | --full] [--seed S] [--threads T] [--out DIR]
+const USAGE: &str = "usage: repro <artifact> [--minutes N | --full] [--seed S] [--threads T] [--shards K] [--out DIR]
 
 artifacts:
   table1 table2 table3 table4 figure4 figure5 figure6 figure7
   throughput validate-mttf sched feasibility win2000 microbench
-  interactive stability ablations timing all
+  interactive stability ablations timing digest all
 
 options:
   --minutes N   simulated minutes per cell (positive number; default 2)
   --full        the paper's full per-workload collection times (\u{a7}3.1)
   --seed S      base RNG seed (non-negative integer; default 1999)
   --threads T   worker threads for independent runs (0 = one per core)
+  --shards K    time shards per cell, on whole-minute boundaries (default 1)
   --out DIR     also write TSV/JSON artifacts into DIR";
 
 /// Reports a bad invocation and exits with status 2 (no panic backtrace).
@@ -60,6 +66,7 @@ fn main() {
     let mut duration = Duration::Minutes(2.0);
     let mut seed = 1999u64;
     let mut threads = 0usize;
+    let mut shards = 1usize;
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
@@ -74,6 +81,12 @@ fn main() {
             "--full" => duration = Duration::FullCollection,
             "--seed" => seed = flag_value(&args, &mut i, "--seed"),
             "--threads" => threads = flag_value(&args, &mut i, "--threads"),
+            "--shards" => {
+                shards = flag_value(&args, &mut i, "--shards");
+                if shards < 1 {
+                    usage_error("--shards must be at least 1");
+                }
+            }
             "--out" => {
                 i += 1;
                 let dir = args
@@ -100,6 +113,7 @@ fn main() {
         duration,
         seed,
         threads,
+        shards,
     };
     let minutes = match duration {
         Duration::Minutes(m) => m,
@@ -110,7 +124,7 @@ fn main() {
     let needs_cells = matches!(
         artifact.as_str(),
         "table3" | "figure4" | "figure6" | "figure7" | "throughput" | "sched" | "feasibility"
-            | "all"
+            | "digest" | "all"
     );
     let cells = if needs_cells {
         eprintln!("measuring 8 OS x workload cells ({duration:?}, seed {seed})...");
@@ -161,11 +175,20 @@ fn main() {
         "sched" => print!("{}", extras::sched(cells.unwrap())),
         "feasibility" => print!("{}", extras::feasibility(cells.unwrap())),
         "ablations" => print!("{}", extras::ablations(minutes.min(5.0), seed, threads)),
+        "digest" => {
+            // One exact digest line per cell, NT first, paper workload
+            // order. CI diffs this against a committed reference to prove
+            // the harness still reproduces the recorded runs bit-for-bit.
+            let cells = cells.unwrap();
+            for m in cells.nt.iter().chain(&cells.win98) {
+                println!("{}", summary_digest(m));
+            }
+        }
         "timing" => {
             eprintln!(
-                "timing the 8-cell grid, serial vs {} threads on {} host cores \
-                 ({duration:?}, seed {seed})...",
-                wdm_bench::parallel::effective_threads(threads, 8),
+                "timing the 8-cell grid ({shards} shard(s)/cell), serial vs {} threads \
+                 on {} host cores ({duration:?}, seed {seed})...",
+                wdm_bench::parallel::effective_threads(threads, 8 * shards),
                 wdm_bench::parallel::host_cores()
             );
             let r = timing::run(&cfg);

@@ -124,6 +124,7 @@ mod tests {
             duration: Duration::Minutes(0.05),
             seed: 5,
             threads: 0,
+            shards: 1,
         };
         let cells = measure_all(&cfg);
         let dir = std::env::temp_dir().join("wdm_repro_tsv_test");

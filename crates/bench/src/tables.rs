@@ -157,6 +157,7 @@ mod tests {
             duration: Duration::Minutes(0.1),
             seed: 5,
             threads: 0,
+            shards: 1,
         }
     }
 
@@ -186,6 +187,7 @@ mod tests {
             duration: Duration::Minutes(1.0),
             seed: 11,
             threads: 0,
+            shards: 1,
         };
         let t = table4(&cfg);
         assert!(t.contains("episodes captured"));

@@ -329,6 +329,72 @@ mod tests {
     }
 
     #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = LatencyHistogram::fig4();
+        a.record_ms(0.3);
+        a.record_ms(5.0);
+        let before: Vec<u64> = a.counts().to_vec();
+        let empty = LatencyHistogram::fig4();
+        // Non-empty <- empty: nothing changes, min must not pick up the
+        // empty histogram's +inf identity.
+        a.merge(&empty);
+        assert_eq!(a.counts(), &before[..]);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min_ms(), 0.3);
+        assert_eq!(a.max_ms(), 5.0);
+        // Empty <- non-empty: adopts the other's stats exactly.
+        let mut b = LatencyHistogram::fig4();
+        b.merge(&a);
+        assert_eq!(b.counts(), a.counts());
+        assert_eq!(b.min_ms(), 0.3);
+        assert_eq!(b.mean_ms(), a.mean_ms());
+        // Empty <- empty stays cleanly empty.
+        let mut c = LatencyHistogram::fig4();
+        c.merge(&LatencyHistogram::fig4());
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.min_ms(), 0.0);
+        assert!(c.min_ms().is_finite());
+    }
+
+    #[test]
+    fn merge_of_single_bin_histograms() {
+        let mut a = LatencyHistogram::with_edges(&[1.0]);
+        a.record_ms(0.5);
+        let mut b = LatencyHistogram::with_edges(&[1.0]);
+        b.record_ms(1.0);
+        b.record_ms(7.0);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[2, 1]);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max_ms(), 7.0);
+    }
+
+    #[test]
+    fn merge_accumulates_the_saturated_overflow_tail() {
+        // Both shards have every sample above the last edge: the overflow
+        // bin must add, and the max/quantile must track the global extreme.
+        let mut a = LatencyHistogram::fig4();
+        let mut b = LatencyHistogram::fig4();
+        for _ in 0..50 {
+            a.record_ms(200.0);
+            b.record_ms(400.0);
+        }
+        a.merge(&b);
+        let overflow = FIG4_EDGES_MS.len();
+        assert_eq!(a.counts()[overflow], 100);
+        assert_eq!(a.max_ms(), 400.0);
+        assert_eq!(a.quantile_exceeding(1e-9), 400.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin edges must match")]
+    fn merge_rejects_mismatched_edges() {
+        let mut a = LatencyHistogram::with_edges(&[1.0, 2.0]);
+        let b = LatencyHistogram::with_edges(&[1.0, 3.0]);
+        a.merge(&b);
+    }
+
+    #[test]
     #[should_panic(expected = "strictly increasing")]
     fn rejects_unsorted_edges() {
         let _ = LatencyHistogram::with_edges(&[1.0, 0.5]);

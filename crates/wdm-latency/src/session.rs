@@ -75,6 +75,73 @@ pub struct ScenarioMeasurement {
     pub step_dispatches: u64,
 }
 
+impl ScenarioMeasurement {
+    /// Every latency series, in a fixed order, mutably. The shard-merge
+    /// layer iterates this so a series added to the struct cannot be
+    /// silently dropped from merges (keep it in sync with the fields).
+    fn series_mut(&mut self) -> [&mut LatencySeries; 11] {
+        [
+            &mut self.int_to_isr,
+            &mut self.int_to_isr_all_ticks,
+            &mut self.isr_to_dpc,
+            &mut self.int_to_dpc,
+            &mut self.dpc_lat,
+            &mut self.thread_lat_28,
+            &mut self.thread_int_28,
+            &mut self.thread_lat_24,
+            &mut self.thread_int_24,
+            &mut self.tool_dpc_to_thread_28,
+            &mut self.tool_est_int_to_dpc,
+        ]
+    }
+
+    /// Closes every series' block-maxima window after `whole_minutes` of
+    /// collection (see [`LatencySeries::close_blocks`]). Call on a shard
+    /// measurement whose window spans that many whole minutes, before
+    /// merging it into the cell total.
+    pub fn close_blocks(&mut self, whole_minutes: usize) {
+        for s in self.series_mut() {
+            s.close_blocks(whole_minutes);
+        }
+    }
+
+    /// Merges an independently simulated *later* time shard of the same
+    /// OS x workload cell into this one.
+    ///
+    /// Exact, not approximate: histograms add bin-wise, block maxima
+    /// concatenate (both shards must be closed at whole-minute boundaries
+    /// via [`Self::close_blocks`] — asserted by [`crate::worstcase::BlockMaxima::merge`]),
+    /// and every counter sums. Every downstream renderer sees the union of
+    /// the shards' samples as if one session had collected them.
+    pub fn merge_shard(&mut self, other: ScenarioMeasurement) {
+        assert_eq!(self.os, other.os, "shards must share the OS");
+        assert_eq!(self.workload, other.workload, "shards must share the workload");
+        let mut o = other;
+        self.collected_hours += o.collected_hours;
+        for (a, b) in self.series_mut().into_iter().zip(o.series_mut()) {
+            a.merge(b);
+        }
+        self.ops_completed += o.ops_completed;
+        self.account.absorb(&o.account);
+        self.episodes.append(&mut o.episodes);
+        self.waits_24 += o.waits_24;
+        self.waits_28 += o.waits_28;
+        self.sim_events += o.sim_events;
+        self.steps_executed += o.steps_executed;
+        self.step_dispatches += o.step_dispatches;
+    }
+
+    /// Merges a shard sequence (time order) into one cell measurement.
+    pub fn merge_shards(shards: Vec<ScenarioMeasurement>) -> ScenarioMeasurement {
+        let mut it = shards.into_iter();
+        let mut acc = it.next().expect("at least one shard");
+        for s in it {
+            acc.merge_shard(s);
+        }
+        acc
+    }
+}
+
 /// Extra knobs for a measurement run.
 #[derive(Debug, Clone, Copy)]
 pub struct MeasureOptions {
@@ -126,7 +193,13 @@ pub fn measure_scenario(
             scenario.kernel.config().cpu_hz,
         ));
 
-    let truth = session.truth.borrow();
+    // Move the collected series out of the session rather than cloning:
+    // hours-long cells hold millions of histogram bins and block maxima per
+    // series, and the session is dropped right after this anyway. The
+    // collector keeps running until `scenario` drops, so the vacated slots
+    // are backfilled with cheap empty series of the same name.
+    let cpu_hz = scenario.kernel.config().cpu_hz;
+    let mut truth = session.truth.borrow_mut();
     let episodes = cause
         .map(|c| {
             c.borrow()
@@ -136,23 +209,42 @@ pub fn measure_scenario(
                 .collect()
         })
         .unwrap_or_default();
-    let r28 = session.rt28.results.borrow();
+    let mut r28 = session.rt28.results.borrow_mut();
+    let take = |s: &mut LatencySeries| {
+        let name = s.name.clone();
+        std::mem::replace(s, LatencySeries::new(&name, cpu_hz))
+    };
+    let remove = |m: &mut crate::tool::IdMap<wdm_sim::ids::DpcId, LatencySeries>| {
+        m.remove(&session.rt28.dpc).expect("watched dpc has series")
+    };
     ScenarioMeasurement {
         os,
         workload,
         collected_hours: sim_hours,
         usage: scenario.usage,
-        int_to_isr: truth.round_int[&session.rt28.dpc].clone(),
-        int_to_isr_all_ticks: truth.pit_int.clone(),
-        isr_to_dpc: truth.isr_to_dpc[&session.rt28.dpc].clone(),
-        int_to_dpc: truth.dpc_int[&session.rt28.dpc].clone(),
-        dpc_lat: truth.dpc_lat[&session.rt28.dpc].clone(),
-        thread_lat_28: truth.thread_lat[&session.rt28.thread].clone(),
-        thread_int_28: truth.thread_int[&session.rt28.thread].clone(),
-        thread_lat_24: truth.thread_lat[&session.rt24.thread].clone(),
-        thread_int_24: truth.thread_int[&session.rt24.thread].clone(),
-        tool_dpc_to_thread_28: r28.dpc_to_thread.clone(),
-        tool_est_int_to_dpc: r28.est_int_to_dpc.clone(),
+        int_to_isr: remove(&mut truth.round_int),
+        int_to_isr_all_ticks: take(&mut truth.pit_int),
+        isr_to_dpc: remove(&mut truth.isr_to_dpc),
+        int_to_dpc: remove(&mut truth.dpc_int),
+        dpc_lat: remove(&mut truth.dpc_lat),
+        thread_lat_28: truth
+            .thread_lat
+            .remove(&session.rt28.thread)
+            .expect("watched thread has series"),
+        thread_int_28: truth
+            .thread_int
+            .remove(&session.rt28.thread)
+            .expect("watched thread has series"),
+        thread_lat_24: truth
+            .thread_lat
+            .remove(&session.rt24.thread)
+            .expect("watched thread has series"),
+        thread_int_24: truth
+            .thread_int
+            .remove(&session.rt24.thread)
+            .expect("watched thread has series"),
+        tool_dpc_to_thread_28: take(&mut r28.dpc_to_thread),
+        tool_est_int_to_dpc: take(&mut r28.est_int_to_dpc),
         ops_completed: scenario.total_ops(),
         account: scenario.kernel.account,
         episodes,
@@ -185,6 +277,46 @@ mod tests {
         assert!(m.thread_lat_28.hist.count() > 500);
         assert!(m.ops_completed > 0);
         assert!(m.episodes.is_empty());
+    }
+
+    #[test]
+    fn shard_merge_sums_counters_and_concatenates_blocks() {
+        let one_minute = 1.0 / 60.0;
+        let run = |seed: u64| {
+            let mut m = measure_scenario(
+                OsKind::Nt4,
+                WorkloadKind::Business,
+                seed,
+                one_minute,
+                &MeasureOptions::default(),
+            );
+            m.close_blocks(1);
+            m
+        };
+        let a = run(21);
+        let b = run(22);
+        let (a_hours, a_ops, a_events, a_waits) =
+            (a.collected_hours, a.ops_completed, a.sim_events, a.waits_28);
+        let (a_count, b_count) = (
+            a.thread_lat_28.hist.count(),
+            b.thread_lat_28.hist.count(),
+        );
+        assert_eq!(a.thread_lat_28.blocks.maxima().len(), 1, "one whole minute");
+        let (b_hours, b_ops, b_events, b_waits, b_acct) = (
+            b.collected_hours,
+            b.ops_completed,
+            b.sim_events,
+            b.waits_28,
+            b.account,
+        );
+        let m = ScenarioMeasurement::merge_shards(vec![a, b]);
+        assert!((m.collected_hours - (a_hours + b_hours)).abs() < 1e-12);
+        assert_eq!(m.ops_completed, a_ops + b_ops);
+        assert_eq!(m.sim_events, a_events + b_events);
+        assert_eq!(m.waits_28, a_waits + b_waits);
+        assert_eq!(m.thread_lat_28.hist.count(), a_count + b_count);
+        assert_eq!(m.thread_lat_28.blocks.maxima().len(), 2, "shard blocks concatenate");
+        assert!(m.account.total() > b_acct.total(), "accounting sums over shards");
     }
 
     #[test]

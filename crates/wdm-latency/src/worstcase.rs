@@ -61,6 +61,61 @@ impl BlockMaxima {
         &self.maxima
     }
 
+    /// The block length this tracker was created with.
+    pub fn block_len(&self) -> Cycles {
+        self.block_len
+    }
+
+    /// Flushes completed blocks until `block_count` blocks exist, exactly
+    /// as a later sample at `block_count * block_len` would (trailing empty
+    /// blocks flush as `0.0`). Used at a shard boundary: a shard covering a
+    /// whole number of blocks closes them all so that [`Self::merge`]
+    /// concatenation reproduces the streaming order. A no-op when
+    /// `block_count` blocks are already complete.
+    pub fn close_through(&mut self, block_count: usize) {
+        while self.maxima.len() < block_count {
+            self.maxima.push(if self.cur_nonempty { self.cur_max } else { 0.0 });
+            self.cur_max = 0.0;
+            self.cur_nonempty = false;
+            self.cur_block_end = self.cur_block_end + self.block_len;
+        }
+    }
+
+    /// Appends `other`'s blocks after this tracker's, as if `other`'s
+    /// samples had streamed in time-shifted to start where this tracker's
+    /// window ends.
+    ///
+    /// Exactness contract: the receiver must be *closed* at a block
+    /// boundary (see [`Self::close_through`]) — its window is then exactly
+    /// `maxima.len()` whole blocks, and because [`Self::record`]'s flush
+    /// rule is translation-invariant, concatenating the completed maxima
+    /// and adopting `other`'s in-progress block reproduces bit-for-bit what
+    /// one tracker fed the concatenated sample stream would hold.
+    pub fn merge(&mut self, other: &BlockMaxima) {
+        assert_eq!(
+            self.block_len, other.block_len,
+            "block lengths must match to merge"
+        );
+        assert!(
+            !self.cur_nonempty && self.cur_max == 0.0,
+            "merge receiver must be closed at a block boundary \
+             (call close_through first)"
+        );
+        debug_assert_eq!(
+            other.cur_block_end.0,
+            other.block_len.0 * (other.maxima.len() as u64 + 1),
+            "block end tracks completed count"
+        );
+        self.maxima.extend_from_slice(&other.maxima);
+        self.cur_max = other.cur_max;
+        self.cur_nonempty = other.cur_nonempty;
+        // Every push advances the block end by exactly one block from the
+        // initial `block_len`, so `cur_block_end` is always
+        // `(maxima.len() + 1) * block_len` — restore that invariant for the
+        // concatenated window.
+        self.cur_block_end = Instant(self.block_len.0 * (self.maxima.len() as u64 + 1));
+    }
+
     /// Expected maximum over windows of `k` consecutive blocks: the mean of
     /// per-window maxima. Returns `None` if no complete window exists.
     pub fn expected_max_over(&self, k: usize) -> Option<f64> {
@@ -106,6 +161,24 @@ impl LatencySeries {
     pub fn record(&mut self, now: Instant, ms: f64) {
         self.hist.record_ms(ms);
         self.blocks.record(now, ms);
+    }
+
+    /// Closes the block-maxima window after `whole_minutes` of collection
+    /// (blocks are one minute, `BLOCK_MINUTES`): flushes every block the
+    /// window completed, including trailing sample-free minutes. Called at
+    /// a shard boundary before [`Self::merge`].
+    pub fn close_blocks(&mut self, whole_minutes: usize) {
+        debug_assert_eq!(BLOCK_MINUTES, 1.0, "blocks are whole minutes");
+        self.blocks.close_through(whole_minutes);
+    }
+
+    /// Appends another series measured over the shard window immediately
+    /// after this one: bin-wise histogram add plus block-maxima
+    /// concatenation. Exact when the receiver was closed at a whole-block
+    /// boundary — see [`BlockMaxima::merge`].
+    pub fn merge(&mut self, other: &LatencySeries) {
+        self.hist.merge(&other.hist);
+        self.blocks.merge(&other.blocks);
     }
 
     /// Expected maximum latency over `window_hours` of collection time,
@@ -195,6 +268,104 @@ mod tests {
         b.record(Instant(150), 2.0); // Next block.
         b.record(Instant(350), 5.0); // Skips one empty block.
         assert_eq!(b.maxima(), &[3.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn close_through_flushes_partial_and_empty_blocks() {
+        let mut b = BlockMaxima::new(Cycles(100));
+        b.record(Instant(10), 4.0);
+        b.record(Instant(120), 2.0); // Flushes block 0, opens block 1.
+        // Close a 5-block window: block 1 carries the in-progress 2.0,
+        // blocks 2-4 were sample-free.
+        b.close_through(5);
+        assert_eq!(b.maxima(), &[4.0, 2.0, 0.0, 0.0, 0.0]);
+        // Closing again is a no-op.
+        b.close_through(3);
+        assert_eq!(b.maxima().len(), 5);
+    }
+
+    #[test]
+    fn close_through_on_empty_shard_yields_zero_blocks() {
+        let mut b = BlockMaxima::new(Cycles(100));
+        b.close_through(3);
+        assert_eq!(b.maxima(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn merge_matches_streaming_the_concatenated_samples() {
+        let len = Cycles(100);
+        // Shard A covers 3 whole blocks, shard B is open-ended.
+        let a_samples = [(Instant(10), 1.0), (Instant(150), 7.0)];
+        let b_samples = [(Instant(30), 2.0), (Instant(250), 5.0), (Instant(260), 9.0)];
+        let mut a = BlockMaxima::new(len);
+        for (t, v) in a_samples {
+            a.record(t, v);
+        }
+        a.close_through(3);
+        let mut b = BlockMaxima::new(len);
+        for (t, v) in b_samples {
+            b.record(t, v);
+        }
+        a.merge(&b);
+        // Reference: one tracker fed both streams, B shifted by 3 blocks.
+        let mut streamed = BlockMaxima::new(len);
+        for (t, v) in a_samples {
+            streamed.record(t, v);
+        }
+        for (t, v) in b_samples {
+            streamed.record(Instant(t.0 + 300), v);
+        }
+        assert_eq!(a.maxima(), streamed.maxima());
+        // The in-progress block must also agree: a later sample flushes
+        // the same value from both.
+        let mut merged_tail = a;
+        let mut streamed_tail = streamed;
+        merged_tail.record(Instant(10_000), 0.1);
+        streamed_tail.record(Instant(10_000), 0.1);
+        assert_eq!(merged_tail.maxima(), streamed_tail.maxima());
+    }
+
+    #[test]
+    fn merge_of_empty_closed_shards_is_all_zeros() {
+        let mut a = BlockMaxima::new(Cycles(100));
+        a.close_through(2);
+        let mut b = BlockMaxima::new(Cycles(100));
+        b.close_through(1);
+        a.merge(&b);
+        assert_eq!(a.maxima(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "closed at a block boundary")]
+    fn merge_rejects_an_open_receiver() {
+        let mut a = BlockMaxima::new(Cycles(100));
+        a.record(Instant(10), 1.0); // In-progress block, never closed.
+        let b = BlockMaxima::new(Cycles(100));
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "block lengths must match")]
+    fn merge_rejects_mismatched_block_lengths() {
+        let mut a = BlockMaxima::new(Cycles(100));
+        let b = BlockMaxima::new(Cycles(200));
+        a.merge(&b);
+    }
+
+    #[test]
+    fn series_merge_combines_hist_and_blocks() {
+        let cpu = 300_000_000u64;
+        let block = Cycles::from_ms_at(60_000.0, cpu);
+        let mut a = LatencySeries::new("t", cpu);
+        a.record(Instant(block.0 / 2), 1.0);
+        a.close_blocks(1);
+        let mut b = LatencySeries::new("t", cpu);
+        b.record(Instant(block.0 / 2), 8.0);
+        b.record(Instant(block.0 + 1), 3.0); // Flushes b's block 0.
+        a.merge(&b);
+        assert_eq!(a.hist.count(), 3);
+        assert_eq!(a.hist.max_ms(), 8.0);
+        assert_eq!(a.blocks.maxima(), &[1.0, 8.0]);
     }
 
     #[test]

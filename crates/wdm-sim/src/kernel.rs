@@ -130,6 +130,17 @@ impl CycleAccount {
     pub fn total(&self) -> u64 {
         self.isr + self.dpc + self.cli + self.section + self.thread + self.idle
     }
+
+    /// Adds another run's accounting level-wise (merging independent
+    /// simulation shards of one logical collection).
+    pub fn absorb(&mut self, other: &CycleAccount) {
+        self.isr += other.isr;
+        self.dpc += other.dpc;
+        self.cli += other.cli;
+        self.section += other.section;
+        self.thread += other.thread;
+        self.idle += other.idle;
+    }
 }
 
 /// Shared handle to an observer; keep a clone to read results after a run.
