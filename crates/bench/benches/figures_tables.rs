@@ -14,6 +14,7 @@ fn quick() -> RunConfig {
         seed: 1999,
         threads: 0,
         shards: 1,
+        trace: false,
     }
 }
 

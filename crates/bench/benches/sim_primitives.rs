@@ -312,12 +312,17 @@ fn bench_notify_steady_state(c: &mut Criterion) {
 /// timing tracks the wall-clock side of the same path.
 fn bench_masked_notify(c: &mut Criterion) {
     // Same workload as `notify_kernel`, but the observer wants one kind.
-    let build = |masked: bool| -> (Kernel, u64) {
+    let build = |kind: &str| -> (Kernel, u64) {
         let mut k = Kernel::new(KernelConfig::default());
-        if masked {
-            k.add_observer(Rc::new(RefCell::new(DpcOnlyObserver::default())));
-        } else {
-            k.add_observer(Rc::new(RefCell::new(CountingObserver::default())));
+        match kind {
+            "masked" => k.add_observer(Rc::new(RefCell::new(DpcOnlyObserver::default()))),
+            "full" => k.add_observer(Rc::new(RefCell::new(CountingObserver::default()))),
+            // A flight recorder constructed with an empty interest mask:
+            // attached but wanting nothing, it must cost nothing.
+            "recorder-off" => k.add_observer(Rc::new(RefCell::new(
+                FlightRecorder::with_interest(1024, Interest::NONE),
+            ))),
+            _ => unreachable!(),
         }
         let evt = k.create_event(EventKind::Synchronization, false);
         let slot = k.alloc_slots(1);
@@ -349,9 +354,20 @@ fn bench_masked_notify(c: &mut Criterion) {
         (k, dpc_events)
     };
 
-    let (masked, masked_dpcs) = build(true);
-    let (full, _) = build(false);
+    let (masked, masked_dpcs) = build("masked");
+    let (full, _) = build("full");
+    let (rec_off, rec_off_dpcs) = build("recorder-off");
     assert!(masked_dpcs > 500, "steady DPC traffic expected");
+    assert!(rec_off_dpcs > 500, "steady DPC traffic expected");
+    assert_eq!(
+        rec_off.notify_takes, 0,
+        "a fully-masked flight recorder must add zero observer takes \
+         (got {} across {} DPC deliveries)",
+        rec_off.notify_takes, rec_off_dpcs
+    );
+    eprintln!(
+        "  recorder-off check: 0 list takes across {rec_off_dpcs} DPC deliveries"
+    );
     assert_eq!(
         masked.notify_takes, masked_dpcs,
         "masked-out kinds took the observer list: {} takes for {} DPC \

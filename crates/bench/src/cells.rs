@@ -4,9 +4,11 @@
 //! distributions; this module runs the 8 cells once (at quick or full
 //! paper-equivalent durations) so the renderers can share them.
 
-use wdm_latency::session::{measure_scenario, MeasureOptions, ScenarioMeasurement};
+use wdm_latency::session::{measure_scenario, FlightOptions, MeasureOptions, ScenarioMeasurement};
 use wdm_osmodel::personality::OsKind;
 use wdm_workloads::{UsageModel, WorkloadKind};
+
+use crate::{progress, spans};
 
 /// How long to simulate each cell.
 #[derive(Debug, Clone, Copy)]
@@ -55,6 +57,11 @@ pub struct RunConfig {
     /// the pre-shard harness; a given `shards` value is bit-identical at
     /// every thread count.
     pub shards: usize,
+    /// Attach a flight recorder to every cell and keep its Chrome trace
+    /// events in the measurements. Read-only instrumentation: every
+    /// measured value and `summary_digest` stay bit-identical with this on
+    /// or off (CI asserts it).
+    pub trace: bool,
 }
 
 impl Default for RunConfig {
@@ -64,8 +71,36 @@ impl Default for RunConfig {
             seed: 1999, // OSDI '99.
             threads: 0,
             shards: 1,
+            trace: false,
         }
     }
+}
+
+impl RunConfig {
+    /// The measurement-tool options for one cell under this config —
+    /// defaults plus a flight recorder (pid'd per cell) when tracing.
+    pub fn measure_opts(&self, os: OsKind, w: WorkloadKind) -> MeasureOptions {
+        MeasureOptions {
+            flight: self.trace.then(|| FlightOptions {
+                pid: cell_pid(os, w),
+                ..FlightOptions::default()
+            }),
+            ..MeasureOptions::default()
+        }
+    }
+}
+
+/// Stable Chrome trace-event process id for a cell. Pid 1 is the harness
+/// itself ([`crate::spans`]); cells follow in grid order so the combined
+/// trace groups one process per cell.
+pub fn cell_pid(os: OsKind, w: WorkloadKind) -> u64 {
+    let os_ix = match os {
+        OsKind::Nt4 => 0,
+        OsKind::Win98 => 1,
+        OsKind::Win2000 => 2,
+    };
+    let w_ix = WorkloadKind::ALL.iter().position(|&x| x == w).unwrap() as u64;
+    2 + os_ix * WorkloadKind::ALL.len() as u64 + w_ix
 }
 
 /// Deterministic per-cell seed.
@@ -145,21 +180,27 @@ pub fn cell_shards(cfg: &RunConfig, os: OsKind, w: WorkloadKind) -> Vec<ShardSpe
         .collect()
 }
 
-/// Runs one shard job with default tool options.
-pub fn measure_shard(spec: &ShardSpec, os: OsKind, w: WorkloadKind) -> ScenarioMeasurement {
-    let mut m = measure_scenario(os, w, spec.seed, spec.hours, &MeasureOptions::default());
+/// Runs one shard job with the given tool options.
+pub fn measure_shard(
+    spec: &ShardSpec,
+    os: OsKind,
+    w: WorkloadKind,
+    opts: &MeasureOptions,
+) -> ScenarioMeasurement {
+    let mut m = measure_scenario(os, w, spec.seed, spec.hours, opts);
     if let Some(minutes) = spec.close_minutes {
         m.close_blocks(minutes);
     }
     m
 }
 
-/// Measures one cell with default tool options, honoring `cfg.shards`
+/// Measures one cell under `cfg`'s tool options, honoring `cfg.shards`
 /// (shards run serially here; [`measure_all_timed`] fans them out).
 pub fn measure_cell(cfg: &RunConfig, os: OsKind, w: WorkloadKind) -> ScenarioMeasurement {
     let shards = cell_shards(cfg, os, w);
+    let opts = cfg.measure_opts(os, w);
     ScenarioMeasurement::merge_shards(
-        shards.iter().map(|s| measure_shard(s, os, w)).collect(),
+        shards.iter().map(|s| measure_shard(s, os, w, &opts)).collect(),
     )
 }
 
@@ -246,33 +287,47 @@ pub fn measure_all_timed(cfg: &RunConfig) -> TimedCells {
         .into_iter()
         .flat_map(|os| WorkloadKind::ALL.into_iter().map(move |w| (os, w)))
         .collect();
-    let jobs: Vec<(usize, ShardSpec)> = cells
+    // (cell index, shard index, shards in that cell, spec).
+    let jobs: Vec<(usize, usize, usize, ShardSpec)> = cells
         .iter()
         .enumerate()
         .flat_map(|(ci, &(os, w))| {
-            cell_shards(cfg, os, w).into_iter().map(move |s| (ci, s))
+            let shards = cell_shards(cfg, os, w);
+            let k = shards.len();
+            shards
+                .into_iter()
+                .enumerate()
+                .map(move |(si, s)| (ci, si, k, s))
         })
         .collect();
     let threads = crate::parallel::effective_threads(cfg.threads, jobs.len());
     let t0 = std::time::Instant::now();
+    let _grid = spans::span("measure grid");
     let results = crate::parallel::parallel_map(jobs.len(), threads, |i| {
-        let (ci, spec) = jobs[i];
+        let (ci, si, k, spec) = jobs[i];
         let (os, w) = cells[ci];
+        let scope = format!("cell {:?}/{:?} shard {}/{}", os, w, si + 1, k);
+        progress::detail(&scope, "measuring");
+        let _span = spans::span(&scope);
         let t = std::time::Instant::now();
-        let m = measure_shard(&spec, os, w);
-        (m, t.elapsed().as_secs_f64())
+        let m = measure_shard(&spec, os, w, &cfg.measure_opts(os, w));
+        let wall_s = t.elapsed().as_secs_f64();
+        progress::detail(&scope, &format!("done in {wall_s:.2}s"));
+        (m, wall_s)
     });
     let total_wall_s = t0.elapsed().as_secs_f64();
+    drop(_grid);
 
     // Regroup the flat results per cell; job order within a cell is shard
     // time order, so the fold in `merge_shards` is the exact concatenation.
     let mut per_cell: Vec<(Vec<ScenarioMeasurement>, Vec<f64>)> =
         cells.iter().map(|_| (Vec::new(), Vec::new())).collect();
-    for (&(ci, _), (m, wall_s)) in jobs.iter().zip(results) {
+    for (&(ci, ..), (m, wall_s)) in jobs.iter().zip(results) {
         per_cell[ci].0.push(m);
         per_cell[ci].1.push(wall_s);
     }
 
+    let _merge = spans::span("merge shards");
     let mut timings = Vec::with_capacity(cells.len());
     let mut nt = Vec::new();
     let mut win98 = Vec::new();
@@ -371,6 +426,7 @@ mod tests {
             seed: 3,
             threads: 0,
             shards: 1,
+            trace: false,
         };
         let m = measure_cell(&cfg, OsKind::Nt4, WorkloadKind::Web);
         // Every-tick series sees ~3k samples in 3 s; the per-round series
@@ -420,6 +476,7 @@ mod tests {
             seed: 1999,
             threads: 1,
             shards: 8,
+            trace: false,
         };
         // Sub-minute window: exactly one shard with the cell's own seed and
         // no block closing, i.e. the pre-shard harness.
@@ -436,6 +493,7 @@ mod tests {
             seed: 5,
             threads: 1,
             shards: 2,
+            trace: false,
         };
         let specs = cell_shards(&cfg, OsKind::Nt4, WorkloadKind::Business);
         assert_eq!(specs.len(), 2);

@@ -583,6 +583,7 @@ mod tests {
             seed: 5,
             threads: 0,
             shards: 1,
+            trace: false,
         };
         let cells = measure_all(&cfg);
         let t = throughput(&cells);

@@ -220,6 +220,7 @@ mod tests {
             seed: 5,
             threads: 0,
             shards: 1,
+            trace: false,
         }
     }
 

@@ -12,7 +12,11 @@
 //! - [`parallel`] — deterministic scoped-thread fan-out for independent
 //!   runs;
 //! - [`timing`] — the harness self-measurement artifact
-//!   (`BENCH_cells.json`).
+//!   (`BENCH_cells.json`);
+//! - [`progress`] — `--quiet`/`--verbose`-aware stderr reporting;
+//! - [`spans`] — harness self-instrumentation spans for the trace;
+//! - [`tracecmd`] — the `repro trace` / `repro metrics` artifacts
+//!   (`TRACE_*.json`, `METRICS_cells.json`).
 //!
 //! The `repro` binary is the CLI; the Criterion benches in `benches/` time
 //! the same harnesses.
@@ -22,7 +26,10 @@ pub mod extras;
 pub mod figures;
 pub mod output;
 pub mod parallel;
+pub mod progress;
+pub mod spans;
 pub mod tables;
 pub mod timing;
+pub mod tracecmd;
 
 pub use cells::{measure_all, measure_all_timed, AllCells, Duration, RunConfig, TimedCells};

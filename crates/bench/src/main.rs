@@ -24,15 +24,15 @@
 
 use wdm_bench::{
     cells::{measure_all, summary_digest, Duration, RunConfig},
-    extras, figures, output, tables, timing,
+    extras, figures, output, progress, tables, timing, tracecmd,
 };
 
-const USAGE: &str = "usage: repro <artifact> [--minutes N | --full] [--seed S] [--threads T] [--shards K] [--out DIR]
+const USAGE: &str = "usage: repro <artifact> [--minutes N | --full] [--seed S] [--threads T] [--shards K] [--out DIR] [--trace] [--quiet | --verbose]
 
 artifacts:
   table1 table2 table3 table4 figure4 figure5 figure6 figure7
   throughput validate-mttf sched feasibility win2000 microbench
-  interactive stability ablations timing digest all
+  interactive stability ablations timing digest trace metrics all
 
 options:
   --minutes N   simulated minutes per cell (positive number; default 2)
@@ -40,12 +40,23 @@ options:
   --seed S      base RNG seed (non-negative integer; default 1999)
   --threads T   worker threads for independent runs (0 = one per core)
   --shards K    time shards per cell, on whole-minute boundaries (default 1)
-  --out DIR     also write TSV/JSON artifacts into DIR";
+  --out DIR     also write TSV/JSON artifacts into DIR
+  --trace       attach a flight recorder to every cell (output unchanged;
+                the 'trace' artifact implies this and writes TRACE_*.json)
+  --quiet       suppress progress lines on stderr
+  --verbose     per-shard progress lines on stderr";
 
 /// Reports a bad invocation and exits with status 2 (no panic backtrace).
 fn usage_error(msg: &str) -> ! {
     eprintln!("repro: {msg}\n\n{USAGE}");
     std::process::exit(2);
+}
+
+/// Reports a runtime failure (I/O, serialization) and exits with status 1.
+/// Prints regardless of `--quiet`: errors are not progress.
+fn fatal(what: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("repro: error: {what}: {err}");
+    std::process::exit(1);
 }
 
 /// Pulls the value of `--flag value`, failing with usage on a missing or
@@ -67,7 +78,9 @@ fn main() {
     let mut seed = 1999u64;
     let mut threads = 0usize;
     let mut shards = 1usize;
+    let mut trace = false;
     let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut verbosity: Option<progress::Verbosity> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -86,6 +99,19 @@ fn main() {
                 if shards < 1 {
                     usage_error("--shards must be at least 1");
                 }
+            }
+            "--trace" => trace = true,
+            "--quiet" => {
+                if verbosity == Some(progress::Verbosity::Verbose) {
+                    usage_error("--quiet and --verbose are mutually exclusive");
+                }
+                verbosity = Some(progress::Verbosity::Quiet);
+            }
+            "--verbose" => {
+                if verbosity == Some(progress::Verbosity::Quiet) {
+                    usage_error("--quiet and --verbose are mutually exclusive");
+                }
+                verbosity = Some(progress::Verbosity::Verbose);
             }
             "--out" => {
                 i += 1;
@@ -109,11 +135,15 @@ fn main() {
         i += 1;
     }
     let artifact = artifact.unwrap_or_else(|| "all".to_string());
+    if let Some(v) = verbosity {
+        progress::set_verbosity(v);
+    }
     let cfg = RunConfig {
         duration,
         seed,
         threads,
         shards,
+        trace,
     };
     let minutes = match duration {
         Duration::Minutes(m) => m,
@@ -124,10 +154,13 @@ fn main() {
     let needs_cells = matches!(
         artifact.as_str(),
         "table3" | "figure4" | "figure6" | "figure7" | "throughput" | "sched" | "feasibility"
-            | "digest" | "all"
+            | "digest" | "metrics" | "all"
     );
     let cells = if needs_cells {
-        eprintln!("measuring 8 OS x workload cells ({duration:?}, seed {seed})...");
+        progress::note(
+            "grid",
+            &format!("measuring 8 OS x workload cells ({duration:?}, seed {seed})..."),
+        );
         Some(measure_all(&cfg))
     } else {
         None
@@ -146,8 +179,10 @@ fn main() {
         "figure4" => {
             print!("{}", figures::figure4(cells.unwrap()));
             if let Some(dir) = &out_dir {
-                for f in output::write_figure4(cells.unwrap(), dir).expect("tsv") {
-                    eprintln!("wrote {f}");
+                let files = output::write_figure4(cells.unwrap(), dir)
+                    .unwrap_or_else(|e| fatal("writing figure4 TSVs", e));
+                for f in files {
+                    progress::note("out", &format!("wrote {f}"));
                 }
             }
         }
@@ -155,14 +190,18 @@ fn main() {
             let f = figures::figure5(&cfg);
             print!("{}", figures::render_figure5(&f));
             if let Some(dir) = &out_dir {
-                eprintln!("wrote {}", output::write_figure5(&f, dir).expect("tsv"));
+                let path = output::write_figure5(&f, dir)
+                    .unwrap_or_else(|e| fatal("writing figure5 TSV", e));
+                progress::note("out", &format!("wrote {path}"));
             }
         }
         "figure6" | "figure7" => {
             print!("{}", figures::figures_6_7(cells.unwrap()));
             if let Some(dir) = &out_dir {
-                for f in output::write_figures_6_7(cells.unwrap(), dir).expect("tsv") {
-                    eprintln!("wrote {f}");
+                let files = output::write_figures_6_7(cells.unwrap(), dir)
+                    .unwrap_or_else(|e| fatal("writing figure 6/7 TSVs", e));
+                for f in files {
+                    progress::note("out", &format!("wrote {f}"));
                 }
             }
         }
@@ -185,25 +224,60 @@ fn main() {
             }
         }
         "timing" => {
-            eprintln!(
-                "timing the 8-cell grid ({shards} shard(s)/cell), serial vs {} threads \
-                 on {} host cores ({duration:?}, seed {seed})...",
-                wdm_bench::parallel::effective_threads(threads, 8 * shards),
-                wdm_bench::parallel::host_cores()
+            progress::note(
+                "grid",
+                &format!(
+                    "timing the 8-cell grid ({shards} shard(s)/cell), serial vs {} threads \
+                     on {} host cores ({duration:?}, seed {seed})...",
+                    wdm_bench::parallel::effective_threads(threads, 8 * shards),
+                    wdm_bench::parallel::host_cores()
+                ),
             );
             let r = timing::run(&cfg);
             print!("{}", timing::render_summary(&r));
             let json = timing::render_json(&cfg, &r);
             println!("{json}");
             if let Some(dir) = &out_dir {
-                std::fs::create_dir_all(dir).expect("create out dir");
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| fatal("creating output directory", e));
                 let path = dir.join("BENCH_cells.json");
-                std::fs::write(&path, &json).expect("write BENCH_cells.json");
-                eprintln!("wrote {}", path.display());
+                std::fs::write(&path, &json)
+                    .unwrap_or_else(|e| fatal("writing BENCH_cells.json", e));
+                progress::note("out", &format!("wrote {}", path.display()));
             }
             if !r.identical {
-                eprintln!("error: parallel output differs from the serial reference");
+                eprintln!("repro: error: parallel output differs from the serial reference");
                 std::process::exit(1);
+            }
+        }
+        "trace" => {
+            let dir = out_dir
+                .clone()
+                .unwrap_or_else(|| std::path::PathBuf::from("artifacts"));
+            progress::note(
+                "grid",
+                &format!(
+                    "tracing 8 OS x workload cells ({duration:?}, seed {seed}) \
+                     into {}...",
+                    dir.display()
+                ),
+            );
+            let (_cells, files) = tracecmd::run_trace(&cfg, &dir)
+                .unwrap_or_else(|e| fatal("writing trace files", e));
+            for f in &files {
+                progress::note("out", &format!("wrote {}", f.display()));
+            }
+        }
+        "metrics" => {
+            let json = tracecmd::render_metrics_json(&cfg, cells.unwrap());
+            print!("{json}");
+            if let Some(dir) = &out_dir {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| fatal("creating output directory", e));
+                let path = dir.join("METRICS_cells.json");
+                std::fs::write(&path, &json)
+                    .unwrap_or_else(|e| fatal("writing METRICS_cells.json", e));
+                progress::note("out", &format!("wrote {}", path.display()));
             }
         }
         "all" => {
@@ -242,13 +316,15 @@ fn main() {
             print!("{hr}");
             print!("{}", extras::ablations(minutes.min(5.0), seed, threads));
             if let Some(dir) = &out_dir {
-                for f in output::write_figure4(cells, dir).expect("tsv") {
-                    eprintln!("wrote {f}");
+                let f4 = output::write_figure4(cells, dir)
+                    .unwrap_or_else(|e| fatal("writing figure4 TSVs", e));
+                let f67 = output::write_figures_6_7(cells, dir)
+                    .unwrap_or_else(|e| fatal("writing figure 6/7 TSVs", e));
+                let p5 = output::write_figure5(&f5, dir)
+                    .unwrap_or_else(|e| fatal("writing figure5 TSV", e));
+                for f in f4.iter().chain(&f67).chain(std::iter::once(&p5)) {
+                    progress::note("out", &format!("wrote {f}"));
                 }
-                for f in output::write_figures_6_7(cells, dir).expect("tsv") {
-                    eprintln!("wrote {f}");
-                }
-                eprintln!("wrote {}", output::write_figure5(&f5, dir).expect("tsv"));
             }
         }
         other => usage_error(&format!("unknown artifact '{other}'")),

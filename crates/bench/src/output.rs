@@ -125,6 +125,7 @@ mod tests {
             seed: 5,
             threads: 0,
             shards: 1,
+            trace: false,
         };
         let cells = measure_all(&cfg);
         let dir = std::env::temp_dir().join("wdm_repro_tsv_test");

@@ -1,0 +1,75 @@
+//! Verbosity-controlled progress reporting on stderr.
+//!
+//! Every harness progress line funnels through here so the `repro` CLI's
+//! `--quiet`/`--verbose` flags act uniformly: [`note`] lines show by
+//! default, [`detail`] lines (per-shard progress, timings) only under
+//! `--verbose`, and `--quiet` silences both. Lines are prefixed
+//! `repro: [scope]` — scopes name the cell/shard doing the work, e.g.
+//! `cell Nt4/Business shard 2/4` — so interleaved worker output from the
+//! parallel fan-out stays attributable. Errors never route through here;
+//! they print unconditionally and exit nonzero.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How much progress output to emit on stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verbosity {
+    /// No progress lines at all (errors still print).
+    Quiet,
+    /// High-level lines only (the default).
+    Normal,
+    /// Per-shard lines and timings too.
+    Verbose,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(1);
+
+/// Sets the process-wide verbosity (main parses the flags once).
+pub fn set_verbosity(v: Verbosity) {
+    LEVEL.store(v as u8, Ordering::Relaxed);
+}
+
+/// The current process-wide verbosity.
+pub fn verbosity() -> Verbosity {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Verbosity::Quiet,
+        1 => Verbosity::Normal,
+        _ => Verbosity::Verbose,
+    }
+}
+
+/// A high-level progress line; shown unless `--quiet`.
+pub fn note(scope: &str, msg: &str) {
+    if verbosity() >= Verbosity::Normal {
+        eprintln!("repro: [{scope}] {msg}");
+    }
+}
+
+/// A fine-grained progress line; shown only under `--verbose`. One write
+/// per line, so lines from parallel workers interleave whole.
+pub fn detail(scope: &str, msg: &str) {
+    if verbosity() >= Verbosity::Verbose {
+        eprintln!("repro: [{scope}] {msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order() {
+        assert!(Verbosity::Quiet < Verbosity::Normal);
+        assert!(Verbosity::Normal < Verbosity::Verbose);
+    }
+
+    #[test]
+    fn set_and_read_back() {
+        let prev = verbosity();
+        set_verbosity(Verbosity::Verbose);
+        assert_eq!(verbosity(), Verbosity::Verbose);
+        set_verbosity(Verbosity::Quiet);
+        assert_eq!(verbosity(), Verbosity::Quiet);
+        set_verbosity(prev);
+    }
+}

@@ -158,6 +158,7 @@ mod tests {
             seed: 5,
             threads: 0,
             shards: 1,
+            trace: false,
         }
     }
 
@@ -188,6 +189,7 @@ mod tests {
             seed: 11,
             threads: 0,
             shards: 1,
+            trace: false,
         };
         let t = table4(&cfg);
         assert!(t.contains("episodes captured"));

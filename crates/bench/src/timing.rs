@@ -253,6 +253,7 @@ mod tests {
             seed: 5,
             threads: 2,
             shards: 1,
+            trace: false,
         };
         let r = run(&cfg);
         assert!(r.identical, "serial and parallel summaries must match");

@@ -15,6 +15,7 @@ fn grid_digests_at(minutes: f64, seed: u64, threads: usize, shards: usize) -> Ve
         seed,
         threads,
         shards,
+        trace: false,
     };
     let t = measure_all_timed(&cfg);
     assert_eq!(t.cells.nt.len(), 4, "NT cells in workload order");
@@ -64,6 +65,55 @@ fn sharded_grid_is_identical_across_thread_counts() {
 }
 
 #[test]
+fn tracing_leaves_the_grid_bit_identical() {
+    // The flight recorder is a pure observer: attaching it must not move a
+    // single sample, so the summary digest — bit-exact min/max/mean and
+    // per-bin counts — is identical with tracing on or off.
+    let base = RunConfig {
+        duration: Duration::Minutes(0.05),
+        seed: 1999,
+        threads: 2,
+        shards: 1,
+        trace: false,
+    };
+    let traced_cfg = RunConfig { trace: true, ..base };
+    let plain = measure_all_timed(&base);
+    let traced = measure_all_timed(&traced_cfg);
+    let digests = |t: &wdm_bench::cells::TimedCells| -> Vec<String> {
+        t.cells
+            .nt
+            .iter()
+            .chain(&t.cells.win98)
+            .map(summary_digest)
+            .collect()
+    };
+    assert_eq!(
+        digests(&plain),
+        digests(&traced),
+        "attaching the flight recorder perturbed the measured grid"
+    );
+    // Guard against a vacuous pass: the traced cells really recorded.
+    assert!(
+        traced
+            .cells
+            .nt
+            .iter()
+            .chain(&traced.cells.win98)
+            .all(|m| !m.trace_events.is_empty()),
+        "traced run produced no flight-recorder events"
+    );
+    assert!(
+        plain
+            .cells
+            .nt
+            .iter()
+            .chain(&plain.cells.win98)
+            .all(|m| m.trace_events.is_empty()),
+        "untraced run must not carry trace events"
+    );
+}
+
+#[test]
 fn shard_count_changes_the_stream_but_not_the_window() {
     use wdm_bench::cells::measure_cell;
     use wdm_osmodel::personality::OsKind;
@@ -74,6 +124,7 @@ fn shard_count_changes_the_stream_but_not_the_window() {
         seed: 1999,
         threads: 1,
         shards: 1,
+        trace: false,
     };
     let sharded = RunConfig {
         shards: 2,
@@ -255,6 +306,7 @@ fn digests_are_sensitive_to_the_seed() {
         seed: 2000,
         threads: 1,
         shards: 1,
+        trace: false,
     };
     let t = measure_all_timed(&cfg);
     let b: Vec<String> = t

@@ -8,7 +8,9 @@
 use std::{cell::RefCell, rc::Rc};
 
 use wdm_osmodel::personality::OsKind;
-use wdm_sim::{kernel::CycleAccount, time::Cycles};
+use wdm_sim::{
+    flight::FlightRecorder, kernel::CycleAccount, metrics::MetricsSnapshot, time::Cycles,
+};
 use wdm_workloads::{build_scenario, ScenarioOptions, UsageModel, WorkloadKind};
 
 use crate::{
@@ -73,6 +75,13 @@ pub struct ScenarioMeasurement {
     /// step_dispatches` is the batch factor the bench harness reports as
     /// `batch_steps_per_dispatch`.
     pub step_dispatches: u64,
+    /// Unified metrics snapshot (`sim.*` kernel counters plus `latency.*`
+    /// measurement counters/histograms); merged exactly across shards.
+    pub metrics: MetricsSnapshot,
+    /// Chrome trace-event JSON objects from the flight recorder, when
+    /// [`MeasureOptions::flight`] was set. Rendered while the kernel is
+    /// alive so names resolve; shards concatenate in time order.
+    pub trace_events: Vec<String>,
 }
 
 impl ScenarioMeasurement {
@@ -129,6 +138,8 @@ impl ScenarioMeasurement {
         self.sim_events += o.sim_events;
         self.steps_executed += o.steps_executed;
         self.step_dispatches += o.step_dispatches;
+        self.metrics.merge_from(&o.metrics);
+        self.trace_events.append(&mut o.trace_events);
     }
 
     /// Merges a shard sequence (time order) into one cell measurement.
@@ -142,6 +153,25 @@ impl ScenarioMeasurement {
     }
 }
 
+/// Flight-recorder attachment for a measurement run.
+#[derive(Debug, Clone, Copy)]
+pub struct FlightOptions {
+    /// Ring capacity — the recorder keeps the most recent this-many events.
+    pub capacity: usize,
+    /// Chrome trace-event process id the cell's events are grouped under
+    /// (the harness assigns one pid per cell).
+    pub pid: u64,
+}
+
+impl Default for FlightOptions {
+    fn default() -> FlightOptions {
+        FlightOptions {
+            capacity: 65_536,
+            pid: 2,
+        }
+    }
+}
+
 /// Extra knobs for a measurement run.
 #[derive(Debug, Clone, Copy)]
 pub struct MeasureOptions {
@@ -152,6 +182,10 @@ pub struct MeasureOptions {
     /// Capture cause-tool episodes for priority-24 thread latencies above
     /// this threshold (ms).
     pub cause_threshold_ms: Option<f64>,
+    /// Attach a flight recorder and export its ring as Chrome trace events
+    /// in [`ScenarioMeasurement::trace_events`]. Never changes measured
+    /// values: the recorder is read-only and draws no randomness.
+    pub flight: Option<FlightOptions>,
 }
 
 impl Default for MeasureOptions {
@@ -160,6 +194,7 @@ impl Default for MeasureOptions {
             scenario: ScenarioOptions::default(),
             period_ms: 1.0,
             cause_threshold_ms: None,
+            flight: None,
         }
     }
 }
@@ -184,6 +219,11 @@ pub fn measure_scenario(
         )));
         scenario.kernel.add_observer(t.clone());
         t
+    });
+    let flight = opts.flight.map(|f| {
+        let r = Rc::new(RefCell::new(FlightRecorder::new(f.capacity)));
+        scenario.kernel.add_observer(r.clone());
+        (r, f.pid)
     });
 
     scenario
@@ -217,7 +257,16 @@ pub fn measure_scenario(
     let remove = |m: &mut crate::tool::IdMap<wdm_sim::ids::DpcId, LatencySeries>| {
         m.remove(&session.rt28.dpc).expect("watched dpc has series")
     };
-    ScenarioMeasurement {
+    // Render trace events while the kernel is alive so thread/vector/DPC
+    // names resolve; the recorder ring is dropped with the scenario.
+    let trace_events = flight
+        .map(|(r, pid)| {
+            let name = format!("{:?} x {:?} (seed {seed})", os, workload);
+            r.borrow().chrome_events(&scenario.kernel, pid, &name)
+        })
+        .unwrap_or_default();
+    let metrics = scenario.kernel.metrics_snapshot();
+    let mut m = ScenarioMeasurement {
         os,
         workload,
         collected_hours: sim_hours,
@@ -253,7 +302,27 @@ pub fn measure_scenario(
         sim_events: scenario.kernel.sim_events,
         steps_executed: scenario.kernel.steps_executed,
         step_dispatches: scenario.kernel.step_dispatches,
+        metrics,
+        trace_events,
+    };
+    // Measurement-layer metrics ride the same registry as the kernel's:
+    // counters sum across shards exactly like the struct fields they
+    // mirror, histograms merge bin-wise over the shared log-binned edges.
+    m.metrics.counter("latency.ops_completed", m.ops_completed);
+    m.metrics.counter("latency.episodes", m.episodes.len() as u64);
+    m.metrics.counter("latency.waits_24", m.waits_24);
+    m.metrics.counter("latency.waits_28", m.waits_28);
+    let hists = [
+        ("latency.hist.int_to_isr_ms", &m.int_to_isr),
+        ("latency.hist.dpc_lat_ms", &m.dpc_lat),
+        ("latency.hist.thread_lat_28_ms", &m.thread_lat_28),
+        ("latency.hist.thread_lat_24_ms", &m.thread_lat_24),
+    ]
+    .map(|(name, s)| (name, s.hist.edges_ms().to_vec(), s.hist.counts().to_vec()));
+    for (name, edges, counts) in hists {
+        m.metrics.histogram(name, edges, counts);
     }
+    m
 }
 
 #[cfg(test)]

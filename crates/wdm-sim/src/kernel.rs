@@ -39,7 +39,10 @@ use crate::{
     irql::Irql,
     labels::{Label, SymbolTable},
     object::{EventKind, KEvent, KMutex, KSemaphore},
-    observer::{DpcStart, Interest, IsrEnter, Observer, ThreadResume},
+    observer::{
+        CalendarPop, CalendarPopKind, DpcStart, Interest, IsrEnter, Observer, QuantumExpiry,
+        ThreadResume,
+    },
     sched::ReadyQueues,
     step::{Blackboard, ExecState, Program, Step, StepCtx},
     thread::{Tcb, ThreadState},
@@ -496,9 +499,19 @@ impl Kernel {
         &self.threads[id.0]
     }
 
+    /// Number of created threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
     /// Read access to a DPC object.
     pub fn dpc(&self, id: DpcId) -> &DpcObject {
         &self.dpcs[id.0]
+    }
+
+    /// Number of created DPC objects.
+    pub fn num_dpcs(&self) -> usize {
+        self.dpcs.len()
     }
 
     /// Read access to a timer.
@@ -579,6 +592,31 @@ impl Kernel {
         self.calendar.tick_work()
     }
 
+    /// Snapshots the kernel's counters into the unified metrics registry
+    /// under the `sim.` namespace. Purely observational: reads counters the
+    /// kernel maintains anyway, so taking a snapshot never perturbs the
+    /// simulation. The cause tool and harness layer their own namespaces
+    /// (`latency.`, `harness.`) on top.
+    pub fn metrics_snapshot(&self) -> crate::metrics::MetricsSnapshot {
+        let mut m = crate::metrics::MetricsSnapshot::new();
+        m.counter("sim.events", self.sim_events);
+        m.counter("sim.steps_executed", self.steps_executed);
+        m.counter("sim.step_dispatches", self.step_dispatches);
+        m.counter("sim.batched_steps", self.batched_steps);
+        m.counter("sim.notify_takes", self.notify_takes);
+        m.counter("sim.calendar_tick_work", self.calendar_tick_work());
+        m.counter("sim.context_switches", self.context_switches);
+        m.counter("sim.wait_timeouts", self.wait_timeouts);
+        m.counter("sim.busy_overruns", self.busy_overruns);
+        m.counter("sim.cycles.isr", self.account.isr);
+        m.counter("sim.cycles.dpc", self.account.dpc);
+        m.counter("sim.cycles.cli", self.account.cli);
+        m.counter("sim.cycles.section", self.account.section);
+        m.counter("sim.cycles.thread", self.account.thread);
+        m.counter("sim.cycles.idle", self.account.idle);
+        m
+    }
+
     // ------------------------------------------------------------------
     // The main loop
     // ------------------------------------------------------------------
@@ -639,9 +677,26 @@ impl Kernel {
     fn fire_due_events(&mut self) {
         while let Some(t) = self.calendar.pop_due_tick(self.now) {
             self.ic.assert_line(self.pit_vector, t);
+            self.emit_calendar_pop(CalendarPopKind::Tick, 0);
         }
         while let Some(idx) = self.calendar.pop_due_env(self.now) {
             self.fire_env(idx);
+            self.emit_calendar_pop(CalendarPopKind::Env, idx as u32);
+        }
+    }
+
+    /// Reports a processed calendar pop to interested observers. Purely
+    /// observational — one masked branch when nobody listens, and never a
+    /// RNG draw or a simulation-state write either way.
+    #[inline]
+    fn emit_calendar_pop(&mut self, kind: CalendarPopKind, index: u32) {
+        if self.wants(Interest::CALENDAR_POP) {
+            let e = CalendarPop {
+                kind,
+                index,
+                at: self.now,
+            };
+            self.notify(Interest::CALENDAR_POP, |o, k| o.on_calendar_pop(k), &e);
         }
     }
 
@@ -1398,29 +1453,40 @@ impl Kernel {
             return false;
         }
         let priority = tcb.priority;
-        if self.ready.len_at(priority) > 0 || self.ready.highest_priority() > Some(priority) {
-            let tcb = &mut self.threads[t.0];
-            tcb.state = ThreadState::Ready;
-            tcb.quantum_remaining = self.config.quantum;
-            // Wakeup boosts decay one level per expired quantum.
-            if tcb.priority > tcb.base_priority {
-                tcb.priority -= 1;
-            }
-            let priority = tcb.priority;
-            self.ready.push_back(t, priority);
-            self.current_thread = None;
-            self.resched = true;
-            true
-        } else {
-            // No competition: refresh the quantum in place, decaying any
-            // boost.
-            let tcb = &mut self.threads[t.0];
-            tcb.quantum_remaining = self.config.quantum;
-            if tcb.priority > tcb.base_priority {
-                tcb.priority -= 1;
-            }
-            false
+        let descheduled =
+            if self.ready.len_at(priority) > 0 || self.ready.highest_priority() > Some(priority) {
+                let tcb = &mut self.threads[t.0];
+                tcb.state = ThreadState::Ready;
+                tcb.quantum_remaining = self.config.quantum;
+                // Wakeup boosts decay one level per expired quantum.
+                if tcb.priority > tcb.base_priority {
+                    tcb.priority -= 1;
+                }
+                let priority = tcb.priority;
+                self.ready.push_back(t, priority);
+                self.current_thread = None;
+                self.resched = true;
+                true
+            } else {
+                // No competition: refresh the quantum in place, decaying any
+                // boost.
+                let tcb = &mut self.threads[t.0];
+                tcb.quantum_remaining = self.config.quantum;
+                if tcb.priority > tcb.base_priority {
+                    tcb.priority -= 1;
+                }
+                false
+            };
+        if self.wants(Interest::QUANTUM_EXPIRY) {
+            let e = QuantumExpiry {
+                thread: t,
+                priority: self.threads[t.0].priority,
+                descheduled,
+                at: self.now,
+            };
+            self.notify(Interest::QUANTUM_EXPIRY, |o, k| o.on_quantum_expiry(k), &e);
         }
+        descheduled
     }
 
     /// Pulls steps from the thread's program (or active APC) until a step
@@ -2047,6 +2113,7 @@ impl Kernel {
             while let Some(t) = self.timers[i].waiters.pop_front() {
                 self.ready_thread(t);
             }
+            self.emit_calendar_pop(CalendarPopKind::Timer, ti);
         }
         // Timed waits and sleeps, ascending thread index.
         due.clear();
@@ -2092,6 +2159,7 @@ impl Kernel {
                 );
                 *w = w.checked_sub(1).unwrap_or(0);
             }
+            self.emit_calendar_pop(CalendarPopKind::Wait, ti);
         }
         due.clear();
         self.due_scratch = due;

@@ -63,12 +63,14 @@ pub mod calendar;
 pub mod config;
 pub mod dpc;
 pub mod env;
+pub mod flight;
 pub mod ids;
 pub mod interrupt;
 pub mod irp;
 pub mod irql;
 pub mod kernel;
 pub mod labels;
+pub mod metrics;
 pub mod object;
 pub mod observer;
 pub mod sched;
@@ -84,6 +86,7 @@ pub mod prelude {
         config::KernelConfig,
         dpc::{DpcDiscipline, DpcImportance},
         env::{samplers, EnvAction, EnvSource, Sampler},
+        flight::{chrome_document, FlightEvent, FlightRecorder},
         ids::{
             DpcId, EventId, IrpId, SemId, Slot, SourceId, ThreadId, TimerId, VectorId, WaitObject,
         },
@@ -91,8 +94,12 @@ pub mod prelude {
         irql::Irql,
         kernel::{CycleAccount, Kernel, ObserverHandle},
         labels::{Label, SymbolTable},
+        metrics::{MetricValue, MetricsSnapshot},
         object::EventKind,
-        observer::{DpcStart, Interest, IsrEnter, Observer, ThreadResume},
+        observer::{
+            CalendarPop, CalendarPopKind, DpcStart, Interest, IsrEnter, Observer, QuantumExpiry,
+            ThreadResume,
+        },
         step::{Blackboard, FnProgram, LoopSeq, OpSeq, Program, Step, StepCtx},
         thread::{ThreadState, RT_DEFAULT_PRIORITY, RT_HIGH_PRIORITY},
         time::{Cycles, Instant, DEFAULT_CPU_HZ},

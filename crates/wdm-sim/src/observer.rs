@@ -13,6 +13,46 @@ use crate::{
     time::Instant,
 };
 
+/// Which calendar heap a due entry popped from (see [`crate::calendar`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalendarPopKind {
+    /// A PIT tick became due and asserted the clock vector.
+    Tick,
+    /// An environment-source arrival fired.
+    Env,
+    /// A kernel timer deadline fired inside the clock ISR.
+    Timer,
+    /// A timed wait / sleep deadline expired inside the clock ISR.
+    Wait,
+}
+
+/// Emitted when a due calendar entry is popped and acted on.
+#[derive(Debug, Clone, Copy)]
+pub struct CalendarPop {
+    /// Which heap the entry came from.
+    pub kind: CalendarPopKind,
+    /// Object index within that heap's domain (env source, timer or thread
+    /// index; 0 for ticks, which carry no object).
+    pub index: u32,
+    /// When the pop was processed (simulated time).
+    pub at: Instant,
+}
+
+/// Emitted when a running thread's quantum reaches zero and the scheduler
+/// refreshes it — round-robining to a peer or continuing in place.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantumExpiry {
+    /// The thread whose quantum expired.
+    pub thread: ThreadId,
+    /// Its priority after any wakeup-boost decay this expiry applied.
+    pub priority: u8,
+    /// True if the thread was descheduled in favor of a ready peer; false
+    /// if it had no competition and kept the CPU with a fresh quantum.
+    pub descheduled: bool,
+    /// When the expiry was processed.
+    pub at: Instant,
+}
+
 /// Emitted when an ISR begins executing its first instruction.
 #[derive(Debug, Clone, Copy)]
 pub struct IsrEnter {
@@ -77,8 +117,12 @@ impl Interest {
     pub const IRP_COMPLETE: Interest = Interest(1 << 3);
     /// [`Observer::on_context_switch`].
     pub const CONTEXT_SWITCH: Interest = Interest(1 << 4);
+    /// [`Observer::on_calendar_pop`].
+    pub const CALENDAR_POP: Interest = Interest(1 << 5);
+    /// [`Observer::on_quantum_expiry`].
+    pub const QUANTUM_EXPIRY: Interest = Interest(1 << 6);
     /// Every event kind (the default for observers that do not narrow).
-    pub const ALL: Interest = Interest(0b1_1111);
+    pub const ALL: Interest = Interest(0b111_1111);
 
     /// True if this mask includes any kind of `other`.
     pub const fn contains(self, other: Interest) -> bool {
@@ -134,6 +178,13 @@ pub trait Observer {
 
     /// A context switch occurred (for throughput/overhead accounting).
     fn on_context_switch(&mut self, _from: Option<ThreadId>, _to: ThreadId, _now: Instant) {}
+
+    /// A due calendar entry popped (tick, env arrival, timer or timed-wait
+    /// expiry). High-rate; consume only from tracing/metrics sinks.
+    fn on_calendar_pop(&mut self, _e: &CalendarPop) {}
+
+    /// A thread's quantum expired (round-robin or in-place refresh).
+    fn on_quantum_expiry(&mut self, _e: &QuantumExpiry) {}
 }
 
 #[cfg(test)]
@@ -164,6 +215,17 @@ mod tests {
             started: Instant(1),
         });
         n.on_context_switch(None, ThreadId(0), Instant(2));
+        n.on_calendar_pop(&CalendarPop {
+            kind: CalendarPopKind::Tick,
+            index: 0,
+            at: Instant(3),
+        });
+        n.on_quantum_expiry(&QuantumExpiry {
+            thread: ThreadId(0),
+            priority: 24,
+            descheduled: false,
+            at: Instant(4),
+        });
     }
 
     #[test]
@@ -181,6 +243,10 @@ mod tests {
         assert!(Interest::NONE.is_empty());
         assert!(!Interest::NONE.contains(Interest::ALL));
         assert!(Interest::ALL.contains(Interest::IRP_COMPLETE));
+        assert!(Interest::ALL.contains(Interest::CALENDAR_POP));
+        assert!(Interest::ALL.contains(Interest::QUANTUM_EXPIRY));
+        assert!(!m.contains(Interest::CALENDAR_POP));
+        assert!(!(Interest::CALENDAR_POP | Interest::QUANTUM_EXPIRY).contains(Interest::ISR_ENTER));
         let mut u = Interest::NONE;
         u |= Interest::THREAD_RESUME;
         assert!(u.contains(Interest::THREAD_RESUME) && !u.contains(Interest::ISR_ENTER));

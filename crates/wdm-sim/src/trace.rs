@@ -231,4 +231,63 @@ mod tests {
     fn zero_capacity_rejected() {
         let _ = EventTrace::new(0);
     }
+
+    #[test]
+    fn ring_evicts_oldest_at_capacity() {
+        let mut t = EventTrace::new(3);
+        for i in 0..5u64 {
+            t.on_context_switch(None, ThreadId(i as usize), Instant(i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total, 5, "evicted events still counted");
+        let kept: Vec<u64> = t.events().map(|e| e.at().0).collect();
+        assert_eq!(kept, vec![2, 3, 4], "oldest two evicted, order kept");
+    }
+
+    #[test]
+    fn interest_mask_covers_exactly_the_implemented_hooks() {
+        let m = EventTrace::new(1).interest();
+        assert!(m.contains(Interest::ISR_ENTER));
+        assert!(m.contains(Interest::DPC_START));
+        assert!(m.contains(Interest::THREAD_RESUME));
+        assert!(m.contains(Interest::CONTEXT_SWITCH));
+        // EventTrace predates (and does not consume) the flight-recorder
+        // kinds; keeping them masked keeps high-rate pops off its path.
+        assert!(!m.contains(Interest::IRP_COMPLETE));
+        assert!(!m.contains(Interest::CALENDAR_POP));
+        assert!(!m.contains(Interest::QUANTUM_EXPIRY));
+    }
+
+    #[test]
+    fn render_golden_timeline() {
+        let mut t = EventTrace::new(8);
+        let hz = 100_000_000; // 100 MHz: 1 ms = 100_000 cycles.
+        t.on_isr_enter(&crate::observer::IsrEnter {
+            vector: crate::ids::VectorId(0),
+            asserted: Instant(100_000),
+            started: Instant(125_000),
+            interrupted_label: crate::labels::Label::IDLE,
+        });
+        t.on_dpc_start(&crate::observer::DpcStart {
+            dpc: crate::ids::DpcId(2),
+            queued: Instant(150_000),
+            started: Instant(200_000),
+        });
+        t.on_thread_resume(&crate::observer::ThreadResume {
+            thread: ThreadId(1),
+            priority: 28,
+            readied: Instant(200_000),
+            started: Instant(300_000),
+        });
+        t.on_context_switch(Some(ThreadId(1)), ThreadId(0), Instant(400_000));
+        let expected = [
+            "      1.2500 ms  ISR    vec#0   latency 0.2500 ms",
+            "      2.0000 ms  DPC    dpc#2   latency 0.5000 ms",
+            "      3.0000 ms  WAKE   ThreadId#1 prio 28 latency 1.0000 ms",
+            "      4.0000 ms  SWITCH ThreadId#1 -> ThreadId#0",
+            "",
+        ]
+        .join("\n");
+        assert_eq!(t.render(hz), expected);
+    }
 }
