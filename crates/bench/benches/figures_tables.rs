@@ -15,6 +15,7 @@ fn quick() -> RunConfig {
         threads: 0,
         shards: 1,
         trace: false,
+        compile: true,
     }
 }
 

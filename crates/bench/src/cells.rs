@@ -62,6 +62,11 @@ pub struct RunConfig {
     /// measured value and `summary_digest` stay bit-identical with this on
     /// or off (CI asserts it).
     pub trace: bool,
+    /// Compile fixed-shape programs into flat instruction streams (the
+    /// default). `repro --no-compile` clears it to run every cell on the
+    /// interpreted reference path; outputs are byte-identical either way
+    /// (CI's compile-smoke job asserts it against the committed digests).
+    pub compile: bool,
 }
 
 impl Default for RunConfig {
@@ -72,6 +77,7 @@ impl Default for RunConfig {
             threads: 0,
             shards: 1,
             trace: false,
+            compile: true,
         }
     }
 }
@@ -80,13 +86,15 @@ impl RunConfig {
     /// The measurement-tool options for one cell under this config —
     /// defaults plus a flight recorder (pid'd per cell) when tracing.
     pub fn measure_opts(&self, os: OsKind, w: WorkloadKind) -> MeasureOptions {
-        MeasureOptions {
+        let mut opts = MeasureOptions {
             flight: self.trace.then(|| FlightOptions {
                 pid: cell_pid(os, w),
                 ..FlightOptions::default()
             }),
             ..MeasureOptions::default()
-        }
+        };
+        opts.scenario.compile = self.compile;
+        opts
     }
 }
 
@@ -234,6 +242,11 @@ pub struct CellTiming {
     /// reports `steps_executed / step_dispatches` per cell as
     /// `batch_steps_per_dispatch`.
     pub step_dispatches: u64,
+    /// Steps executed through compiled instruction streams (a subset of
+    /// `steps_executed`; 0 under `--no-compile`). The timing artifact
+    /// reports `compiled_steps / step_dispatches` per cell as
+    /// `compile_steps_per_dispatch`.
+    pub compiled_steps: u64,
     /// Wall-clock seconds of each shard, time order (one entry on the
     /// unsharded path). The artifact reports these plus the max/mean
     /// imbalance so load-balance losses in the 8 x K fan-out are visible.
@@ -340,6 +353,9 @@ pub fn measure_all_timed(cfg: &RunConfig) -> TimedCells {
             sim_events: m.sim_events,
             steps_executed: m.steps_executed,
             step_dispatches: m.step_dispatches,
+            // Shards sum this counter exactly in the metrics merge, so the
+            // registry is the authoritative per-cell total.
+            compiled_steps: m.metrics.counter_value("sim.compiled_steps").unwrap_or(0),
             shard_wall_s,
         });
         match os {
@@ -427,6 +443,7 @@ mod tests {
             threads: 0,
             shards: 1,
             trace: false,
+            compile: true,
         };
         let m = measure_cell(&cfg, OsKind::Nt4, WorkloadKind::Web);
         // Every-tick series sees ~3k samples in 3 s; the per-round series
@@ -477,6 +494,7 @@ mod tests {
             threads: 1,
             shards: 8,
             trace: false,
+            compile: true,
         };
         // Sub-minute window: exactly one shard with the cell's own seed and
         // no block closing, i.e. the pre-shard harness.
@@ -494,6 +512,7 @@ mod tests {
             threads: 1,
             shards: 2,
             trace: false,
+            compile: true,
         };
         let specs = cell_shards(&cfg, OsKind::Nt4, WorkloadKind::Business);
         assert_eq!(specs.len(), 2);

@@ -421,7 +421,7 @@ pub fn ablate_dpc_discipline(minutes: f64, seed: u64) -> String {
         }
         k.run_for(Cycles::from_ms(minutes * 60_000.0));
         let truth = session.truth.borrow();
-        let s: &LatencySeries = &truth.dpc_lat[&session.rt28.dpc];
+        let s: &LatencySeries = &truth.dpcs[&session.rt28.dpc].lat;
         (s.hist.quantile_exceeding(0.001), s.hist.max_ms())
     };
     let (fifo_p999, fifo_max) = run(DpcDiscipline::Fifo);
@@ -486,7 +486,7 @@ pub fn ablate_quantum(minutes: f64, seed: u64) -> String {
         );
         k.run_for(Cycles::from_ms(hours * 3_600_000.0));
         let truth = session.truth.borrow();
-        truth.thread_lat[&session.rt24.thread]
+        truth.threads[&session.rt24.thread].lat
             .hist
             .quantile_exceeding(0.001)
     };
@@ -523,7 +523,7 @@ pub fn ablate_tail_family(minutes: f64, seed: u64) -> String {
         ));
         k.run_for(Cycles::from_ms(minutes * 60_000.0));
         let truth = session.truth.borrow();
-        let h = &truth.thread_lat[&session.rt28.thread].hist;
+        let h = &truth.threads[&session.rt28.thread].lat.hist;
         format!(
             "  {name:<34} p99 = {:>7.3} ms, p99.9 = {:>7.3} ms, max = {:>7.2} ms\n",
             h.quantile_exceeding(0.01),
@@ -584,6 +584,7 @@ mod tests {
             threads: 0,
             shards: 1,
             trace: false,
+            compile: true,
         };
         let cells = measure_all(&cfg);
         let t = throughput(&cells);

@@ -221,6 +221,7 @@ mod tests {
             threads: 0,
             shards: 1,
             trace: false,
+            compile: true,
         }
     }
 

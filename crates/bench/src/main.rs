@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! repro <artifact> [--minutes N | --full] [--seed S] [--threads T]
-//!                  [--shards K] [--out DIR]
+//!                  [--shards K] [--out DIR] [--no-compile]
 //!
 //! artifacts:
 //!   table1 table2 table3 table4 figure4 figure5 figure6 figure7
@@ -27,7 +27,7 @@ use wdm_bench::{
     extras, figures, output, progress, tables, timing, tracecmd,
 };
 
-const USAGE: &str = "usage: repro <artifact> [--minutes N | --full] [--seed S] [--threads T] [--shards K] [--out DIR] [--trace] [--quiet | --verbose]
+const USAGE: &str = "usage: repro <artifact> [--minutes N | --full] [--seed S] [--threads T] [--shards K] [--out DIR] [--trace] [--no-compile] [--quiet | --verbose]
 
 artifacts:
   table1 table2 table3 table4 figure4 figure5 figure6 figure7
@@ -43,6 +43,8 @@ options:
   --out DIR     also write TSV/JSON artifacts into DIR
   --trace       attach a flight recorder to every cell (output unchanged;
                 the 'trace' artifact implies this and writes TRACE_*.json)
+  --no-compile  run programs through the step interpreter instead of the
+                compiled instruction streams (output byte-identical)
   --quiet       suppress progress lines on stderr
   --verbose     per-shard progress lines on stderr";
 
@@ -79,6 +81,7 @@ fn main() {
     let mut threads = 0usize;
     let mut shards = 1usize;
     let mut trace = false;
+    let mut compile = true;
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut verbosity: Option<progress::Verbosity> = None;
     let mut i = 0;
@@ -101,6 +104,7 @@ fn main() {
                 }
             }
             "--trace" => trace = true,
+            "--no-compile" => compile = false,
             "--quiet" => {
                 if verbosity == Some(progress::Verbosity::Verbose) {
                     usage_error("--quiet and --verbose are mutually exclusive");
@@ -144,6 +148,7 @@ fn main() {
         threads,
         shards,
         trace,
+        compile,
     };
     let minutes = match duration {
         Duration::Minutes(m) => m,

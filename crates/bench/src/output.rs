@@ -126,6 +126,7 @@ mod tests {
             threads: 0,
             shards: 1,
             trace: false,
+            compile: true,
         };
         let cells = measure_all(&cfg);
         let dir = std::env::temp_dir().join("wdm_repro_tsv_test");

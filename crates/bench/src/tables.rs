@@ -159,6 +159,7 @@ mod tests {
             threads: 0,
             shards: 1,
             trace: false,
+            compile: true,
         }
     }
 
@@ -190,6 +191,7 @@ mod tests {
             threads: 0,
             shards: 1,
             trace: false,
+            compile: true,
         };
         let t = table4(&cfg);
         assert!(t.contains("episodes captured"));

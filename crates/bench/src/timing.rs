@@ -1,11 +1,13 @@
 //! The `repro timing` artifact: harness self-measurement.
 //!
-//! Runs the 8-cell grid twice — once on a single worker as the serial
-//! reference, once fanned out over the requested worker count — verifies
-//! the two runs are observably identical (see
+//! Runs the 8-cell grid three times — once on a single worker as the
+//! serial reference, once fanned out over the requested worker count, and
+//! once serially with program compilation off (the interpreted reference
+//! path) — verifies all three runs are observably identical (see
 //! [`crate::cells::summary_digest`]), and emits a `BENCH_cells.json`
-//! report with per-cell wall-clock cost, total wall clock for both runs,
-//! the measured speedup and the simulator event rate.
+//! report with per-cell wall-clock cost, total wall clock for the runs,
+//! the measured thread speedup, the compiled-vs-interpreted event rates
+//! and the simulator event rate.
 
 use crate::cells::{
     measure_all_timed, shard_imbalance, summary_digest, Duration, RunConfig, TimedCells,
@@ -17,7 +19,10 @@ pub struct TimingReport {
     pub serial: TimedCells,
     /// Parallel run at the requested thread count.
     pub parallel: TimedCells,
-    /// Whether both runs produced identical summaries (they must).
+    /// Serial run with program compilation off: the interpreted reference
+    /// path's cost, for the compiled-vs-interpreted rate comparison.
+    pub interpreted: TimedCells,
+    /// Whether all three runs produced identical summaries (they must).
     pub identical: bool,
     /// Wall-clock attempts per side; each side reports its fastest.
     pub repeats: usize,
@@ -27,6 +32,12 @@ impl TimingReport {
     /// Serial wall clock over parallel wall clock.
     pub fn speedup(&self) -> f64 {
         self.serial.total_wall_s / self.parallel.total_wall_s.max(1e-9)
+    }
+
+    /// Interpreted serial wall clock over (compiled) serial wall clock:
+    /// the single-core payoff of program compilation.
+    pub fn compile_speedup(&self) -> f64 {
+        self.interpreted.total_wall_s / self.serial.total_wall_s.max(1e-9)
     }
 
     /// Grid-wide fan-out balance: max/mean over every shard wall of the
@@ -92,10 +103,23 @@ pub fn run(cfg: &RunConfig) -> TimingReport {
     let repeats = repeats_for(cfg.duration);
     let serial = best_timed(cfg, 1, repeats);
     let parallel = best_timed(cfg, cfg.threads, repeats);
-    let identical = digests(&serial) == digests(&parallel);
+    // The interpreted pass re-runs the serial grid with compilation off —
+    // its digests joining the identity check is what keeps the walker and
+    // the interpreter observably interchangeable release over release.
+    let interpreted = best_timed(
+        &RunConfig {
+            compile: false,
+            ..*cfg
+        },
+        1,
+        repeats,
+    );
+    let identical =
+        digests(&serial) == digests(&parallel) && digests(&serial) == digests(&interpreted);
     TimingReport {
         serial,
         parallel,
+        interpreted,
         identical,
         repeats,
     }
@@ -104,11 +128,23 @@ pub fn run(cfg: &RunConfig) -> TimingReport {
 /// Renders the report as the `BENCH_cells.json` document.
 pub fn render_json(cfg: &RunConfig, r: &TimingReport) -> String {
     let mut cells = String::new();
-    for (i, (t, s)) in r.parallel.timings.iter().zip(&r.serial.timings).enumerate() {
+    for (i, ((t, s), n)) in r
+        .parallel
+        .timings
+        .iter()
+        .zip(&r.serial.timings)
+        .zip(&r.interpreted.timings)
+        .enumerate()
+    {
         assert_eq!(
             (t.os, t.workload),
             (s.os, s.workload),
             "serial and parallel timings must list cells in the same order"
+        );
+        assert_eq!(
+            (t.os, t.workload),
+            (n.os, n.workload),
+            "interpreted timings must list cells in the same order"
         );
         if i > 0 {
             cells.push_str(",\n");
@@ -118,7 +154,10 @@ pub fn render_json(cfg: &RunConfig, r: &TimingReport) -> String {
         // regression tooling tracks across commits.
         // `batch_steps_per_dispatch` is steps executed per entry into the
         // kernel's inner step loop — >1 shows the batched fast-forward is
-        // engaging for the cell.
+        // engaging for the cell. `compile_steps_per_dispatch` is the
+        // compiled subset of the same ratio — >0 shows the superblock
+        // walker is engaging; `interpreted_events_per_sec` is the same
+        // cell's serial rate with compilation off.
         // `shards` / `shard_wall_s` / `shard_imbalance` describe how the
         // cell's window split for the 8 x K fan-out and how evenly its
         // pieces cost out.
@@ -131,34 +170,43 @@ pub fn render_json(cfg: &RunConfig, r: &TimingReport) -> String {
         cells.push_str(&format!(
             "    {{\"os\": {}, \"workload\": {}, \"wall_s\": {}, \"sim_events\": {}, \
              \"events_per_sec\": {}, \"batch_steps_per_dispatch\": {}, \
+             \"compile_steps_per_dispatch\": {}, \
              \"shards\": {}, \"shard_wall_s\": [{}], \"shard_imbalance\": {}, \
              \"serial_wall_s\": {}, \
-             \"serial_events_per_sec\": {}, \"speedup\": {}}}",
+             \"serial_events_per_sec\": {}, \"interpreted_events_per_sec\": {}, \
+             \"speedup\": {}}}",
             json_str(t.os.name()),
             json_str(t.workload.name()),
             json_f64(t.wall_s),
             t.sim_events,
             json_f64(t.sim_events as f64 / t.wall_s.max(1e-9)),
             json_f64(t.steps_executed as f64 / t.step_dispatches.max(1) as f64),
+            json_f64(t.compiled_steps as f64 / t.step_dispatches.max(1) as f64),
             t.shards(),
             shard_walls,
             json_f64(t.shard_imbalance()),
             json_f64(s.wall_s),
             json_f64(s.sim_events as f64 / s.wall_s.max(1e-9)),
+            json_f64(n.sim_events as f64 / n.wall_s.max(1e-9)),
             json_f64(s.wall_s / t.wall_s.max(1e-9))
         ));
     }
     let total_events: u64 = r.parallel.timings.iter().map(|t| t.sim_events).sum();
     let total_steps: u64 = r.parallel.timings.iter().map(|t| t.steps_executed).sum();
+    let total_compiled: u64 = r.parallel.timings.iter().map(|t| t.compiled_steps).sum();
     let total_dispatches: u64 = r.parallel.timings.iter().map(|t| t.step_dispatches).sum();
     format!(
         "{{\n  \"artifact\": \"BENCH_cells\",\n  \"duration\": {},\n  \"seed\": {},\n  \
          \"threads\": {},\n  \"host_cores\": {},\n  \
-         \"shards\": {},\n  \"repeats\": {},\n  \"shard_imbalance\": {},\n  \
+         \"shards\": {},\n  \"repeats\": {},\n  \"compiled\": {},\n  \"shard_imbalance\": {},\n  \
          \"serial_wall_s\": {},\n  \"parallel_wall_s\": {},\n  \
-         \"speedup\": {},\n  \"identical\": {},\n  \"total_sim_events\": {},\n  \
+         \"interpreted_serial_wall_s\": {},\n  \
+         \"speedup\": {},\n  \"compile_speedup\": {},\n  \"identical\": {},\n  \
+         \"total_sim_events\": {},\n  \
          \"events_per_sec\": {},\n  \"serial_events_per_sec\": {},\n  \
+         \"interpreted_serial_events_per_sec\": {},\n  \
          \"batch_steps_per_dispatch\": {},\n  \
+         \"compile_steps_per_dispatch\": {},\n  \
          \"cells\": [\n{}\n  ]\n}}\n",
         json_str(&format!("{:?}", cfg.duration)),
         cfg.seed,
@@ -166,15 +214,20 @@ pub fn render_json(cfg: &RunConfig, r: &TimingReport) -> String {
         crate::parallel::host_cores(),
         cfg.shards,
         r.repeats,
+        cfg.compile,
         json_f64(r.grid_imbalance()),
         json_f64(r.serial.total_wall_s),
         json_f64(r.parallel.total_wall_s),
+        json_f64(r.interpreted.total_wall_s),
         json_f64(r.speedup()),
+        json_f64(r.compile_speedup()),
         r.identical,
         total_events,
         json_f64(total_events as f64 / r.parallel.total_wall_s.max(1e-9)),
         json_f64(total_events as f64 / r.serial.total_wall_s.max(1e-9)),
+        json_f64(total_events as f64 / r.interpreted.total_wall_s.max(1e-9)),
         json_f64(total_steps as f64 / total_dispatches.max(1) as f64),
+        json_f64(total_compiled as f64 / total_dispatches.max(1) as f64),
         cells
     )
 }
@@ -184,7 +237,8 @@ pub fn render_summary(r: &TimingReport) -> String {
     let total_jobs: usize = r.parallel.timings.iter().map(|t| t.shards()).sum();
     let mut out = format!(
         "Harness timing: 8 cells ({} shard jobs), best of {}: serial {:.2} s \
-         vs {} threads {:.2} s ({:.2}x speedup, shard imbalance {:.2}), \
+         vs {} threads {:.2} s ({:.2}x speedup, shard imbalance {:.2}) \
+         vs interpreted serial {:.2} s ({:.2}x from compilation), \
          outputs {}\n\n",
         total_jobs,
         r.repeats,
@@ -193,6 +247,8 @@ pub fn render_summary(r: &TimingReport) -> String {
         r.parallel.total_wall_s,
         r.speedup(),
         r.grid_imbalance(),
+        r.interpreted.total_wall_s,
+        r.compile_speedup(),
         if r.identical {
             "identical"
         } else {
@@ -200,20 +256,37 @@ pub fn render_summary(r: &TimingReport) -> String {
         }
     );
     out += &format!(
-        "{:<16}{:<18}{:>10}{:>16}{:>14}{:>16}{:>9}{:>12}\n",
-        "OS", "workload", "wall s", "sim events", "events/s", "serial ev/s", "speedup", "steps/disp"
+        "{:<16}{:<18}{:>10}{:>16}{:>14}{:>16}{:>14}{:>9}{:>12}{:>12}\n",
+        "OS",
+        "workload",
+        "wall s",
+        "sim events",
+        "events/s",
+        "serial ev/s",
+        "interp ev/s",
+        "speedup",
+        "steps/disp",
+        "comp/disp"
     );
-    for (t, s) in r.parallel.timings.iter().zip(&r.serial.timings) {
+    for ((t, s), n) in r
+        .parallel
+        .timings
+        .iter()
+        .zip(&r.serial.timings)
+        .zip(&r.interpreted.timings)
+    {
         out += &format!(
-            "{:<16}{:<18}{:>10.2}{:>16}{:>14.0}{:>16.0}{:>8.2}x{:>12.2}\n",
+            "{:<16}{:<18}{:>10.2}{:>16}{:>14.0}{:>16.0}{:>14.0}{:>8.2}x{:>12.2}{:>12.2}\n",
             t.os.name(),
             t.workload.name(),
             t.wall_s,
             t.sim_events,
             t.sim_events as f64 / t.wall_s.max(1e-9),
             s.sim_events as f64 / s.wall_s.max(1e-9),
+            n.sim_events as f64 / n.wall_s.max(1e-9),
             s.wall_s / t.wall_s.max(1e-9),
-            t.steps_executed as f64 / t.step_dispatches.max(1) as f64
+            t.steps_executed as f64 / t.step_dispatches.max(1) as f64,
+            t.compiled_steps as f64 / t.step_dispatches.max(1) as f64
         );
     }
     out
@@ -254,14 +327,20 @@ mod tests {
             threads: 2,
             shards: 1,
             trace: false,
+            compile: true,
         };
         let r = run(&cfg);
-        assert!(r.identical, "serial and parallel summaries must match");
+        assert!(
+            r.identical,
+            "serial, parallel and interpreted summaries must match"
+        );
         assert_eq!(r.parallel.timings.len(), 8);
+        assert_eq!(r.interpreted.timings.len(), 8);
         let json = render_json(&cfg, &r);
         assert!(json.contains("\"artifact\": \"BENCH_cells\""));
         assert!(json.contains("\"identical\": true"));
         assert!(json.contains("\"threads\": 2"));
+        assert!(json.contains("\"compiled\": true"));
         assert_eq!(json.matches("\"workload\":").count(), 8);
         // Shard metadata: one grid aggregate plus one entry per cell. A
         // 0.02-minute window cannot split, so every cell reports 1 shard
@@ -279,12 +358,22 @@ mod tests {
         assert_eq!(json.matches("\"serial_wall_s\":").count(), 8 + 1);
         assert_eq!(json.matches("\"serial_events_per_sec\":").count(), 8 + 1);
         assert_eq!(json.matches("\"speedup\":").count(), 8 + 1);
-        // Per-cell batch factor plus a grid-wide aggregate, and the host
-        // core count the speedup should be judged against.
+        // Per-cell batch/compile factors plus grid-wide aggregates, and
+        // the host core count the speedup should be judged against.
         assert_eq!(json.matches("\"batch_steps_per_dispatch\":").count(), 8 + 1);
+        assert_eq!(json.matches("\"compile_steps_per_dispatch\":").count(), 8 + 1);
+        assert_eq!(json.matches("\"interpreted_events_per_sec\":").count(), 8);
+        assert_eq!(
+            json.matches("\"interpreted_serial_events_per_sec\":").count(),
+            1
+        );
+        assert_eq!(json.matches("\"interpreted_serial_wall_s\":").count(), 1);
+        assert_eq!(json.matches("\"compile_speedup\":").count(), 1);
         assert_eq!(json.matches("\"host_cores\":").count(), 1);
         // Batching must actually engage: every cell executes more than one
-        // step per dispatch into the kernel's inner loop.
+        // step per dispatch into the kernel's inner loop. Compilation must
+        // engage on the compiled passes and stay out of the interpreted
+        // one.
         for t in r.parallel.timings.iter().chain(&r.serial.timings) {
             assert!(
                 t.steps_executed as f64 / t.step_dispatches.max(1) as f64 > 1.0,
@@ -294,11 +383,28 @@ mod tests {
                 t.steps_executed,
                 t.step_dispatches
             );
+            assert!(
+                t.compiled_steps > 0,
+                "{} / {} cell must run compiled steps",
+                t.os.name(),
+                t.workload.name()
+            );
+        }
+        for t in &r.interpreted.timings {
+            assert_eq!(
+                t.compiled_steps,
+                0,
+                "{} / {} interpreted cell must not compile",
+                t.os.name(),
+                t.workload.name()
+            );
         }
         let text = render_summary(&r);
         assert!(text.contains("identical"));
         assert!(text.contains("serial ev/s"));
+        assert!(text.contains("interp ev/s"));
         assert!(text.contains("steps/disp"));
+        assert!(text.contains("comp/disp"));
     }
 
     #[test]

@@ -88,6 +88,7 @@ mod tests {
             threads: 1,
             shards: 1,
             trace: false,
+            compile: true,
         }
     }
 

@@ -16,6 +16,7 @@ fn grid_digests_at(minutes: f64, seed: u64, threads: usize, shards: usize) -> Ve
         threads,
         shards,
         trace: false,
+        compile: true,
     };
     let t = measure_all_timed(&cfg);
     assert_eq!(t.cells.nt.len(), 4, "NT cells in workload order");
@@ -75,6 +76,7 @@ fn tracing_leaves_the_grid_bit_identical() {
         threads: 2,
         shards: 1,
         trace: false,
+        compile: true,
     };
     let traced_cfg = RunConfig { trace: true, ..base };
     let plain = measure_all_timed(&base);
@@ -125,6 +127,7 @@ fn shard_count_changes_the_stream_but_not_the_window() {
         threads: 1,
         shards: 1,
         trace: false,
+        compile: true,
     };
     let sharded = RunConfig {
         shards: 2,
@@ -307,6 +310,7 @@ fn digests_are_sensitive_to_the_seed() {
         threads: 1,
         shards: 1,
         trace: false,
+        compile: true,
     };
     let t = measure_all_timed(&cfg);
     let b: Vec<String> = t

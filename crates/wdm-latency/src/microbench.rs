@@ -84,8 +84,8 @@ pub fn run_microbench(os: OsKind, seed: u64) -> Microbench {
         os,
         ctx_switch_us,
         int_dispatch_us: us(truth.pit_int.hist.mean_ms()),
-        dpc_dispatch_us: us(truth.dpc_lat[&session.rt28.dpc].hist.mean_ms()),
-        timer_to_thread_us: us(truth.thread_int[&session.rt28.thread].hist.mean_ms()),
+        dpc_dispatch_us: us(truth.dpcs[&session.rt28.dpc].lat.hist.mean_ms()),
+        timer_to_thread_us: us(truth.threads[&session.rt28.thread].int.hist.mean_ms()),
     }
 }
 

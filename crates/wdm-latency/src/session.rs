@@ -254,9 +254,18 @@ pub fn measure_scenario(
         let name = s.name.clone();
         std::mem::replace(s, LatencySeries::new(&name, cpu_hz))
     };
-    let remove = |m: &mut crate::tool::IdMap<wdm_sim::ids::DpcId, LatencySeries>| {
-        m.remove(&session.rt28.dpc).expect("watched dpc has series")
-    };
+    let dpc28 = truth
+        .dpcs
+        .remove(&session.rt28.dpc)
+        .expect("watched dpc has series");
+    let thr28 = truth
+        .threads
+        .remove(&session.rt28.thread)
+        .expect("watched thread has series");
+    let thr24 = truth
+        .threads
+        .remove(&session.rt24.thread)
+        .expect("watched thread has series");
     // Render trace events while the kernel is alive so thread/vector/DPC
     // names resolve; the recorder ring is dropped with the scenario.
     let trace_events = flight
@@ -271,27 +280,15 @@ pub fn measure_scenario(
         workload,
         collected_hours: sim_hours,
         usage: scenario.usage,
-        int_to_isr: remove(&mut truth.round_int),
+        int_to_isr: dpc28.round_int,
         int_to_isr_all_ticks: take(&mut truth.pit_int),
-        isr_to_dpc: remove(&mut truth.isr_to_dpc),
-        int_to_dpc: remove(&mut truth.dpc_int),
-        dpc_lat: remove(&mut truth.dpc_lat),
-        thread_lat_28: truth
-            .thread_lat
-            .remove(&session.rt28.thread)
-            .expect("watched thread has series"),
-        thread_int_28: truth
-            .thread_int
-            .remove(&session.rt28.thread)
-            .expect("watched thread has series"),
-        thread_lat_24: truth
-            .thread_lat
-            .remove(&session.rt24.thread)
-            .expect("watched thread has series"),
-        thread_int_24: truth
-            .thread_int
-            .remove(&session.rt24.thread)
-            .expect("watched thread has series"),
+        isr_to_dpc: dpc28.isr_to_dpc,
+        int_to_dpc: dpc28.int,
+        dpc_lat: dpc28.lat,
+        thread_lat_28: thr28.lat,
+        thread_int_28: thr28.int,
+        thread_lat_24: thr24.lat,
+        thread_int_24: thr24.int,
         tool_dpc_to_thread_28: take(&mut r28.dpc_to_thread),
         tool_est_int_to_dpc: take(&mut r28.est_int_to_dpc),
         ops_completed: scenario.total_ops(),

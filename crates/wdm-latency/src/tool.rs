@@ -82,6 +82,19 @@ impl Program for LatThreadFunc {
         self.phase = (self.phase + 1) % 3;
         s
     }
+
+    fn shape(&self) -> Option<wdm_sim::compile::ProgramShape> {
+        // A pure wait/stamp/complete cycle: no RNG, no blackboard reads,
+        // so the kernel can walk a compiled stream instead of calling us.
+        Some(wdm_sim::compile::ProgramShape {
+            steps: vec![
+                Step::Wait(WaitObject::Event(self.event)),
+                Step::ReadTsc(self.asb2),
+                Step::CompleteIrp(self.irp),
+            ],
+            looping: true,
+        })
+    }
 }
 
 /// The control application: drive reads, compute latencies.
@@ -260,6 +273,36 @@ impl Hasher for IdHasher {
 /// A `HashMap` keyed by simulator ids, hashed by identity.
 pub type IdMap<K, V> = HashMap<K, V, BuildHasherDefault<IdHasher>>;
 
+/// Per-DPC truth series: every stage of the tick -> DPC chain, plus the
+/// ring of recent activations that associates thread wakeups with the
+/// assertion that caused them. One map entry per watched DPC — the
+/// observer callbacks fire on every measured event, so the four series
+/// share a single lookup instead of one hash probe each.
+pub struct DpcTruth {
+    /// Recent (queued, started) activations.
+    ring: VecDeque<(Instant, Instant)>,
+    /// The PIT interrupt latency of the tick that queued this DPC — one
+    /// sample per measurement round, so Table 3's "H/W Int. to S/W ISR"
+    /// row is consistent event-for-event with the DPC rows.
+    pub round_int: LatencySeries,
+    /// Queue to start (the paper's DPC latency).
+    pub lat: LatencySeries,
+    /// Hardware assert to DPC start (DPC interrupt latency).
+    pub int: LatencySeries,
+    /// PIT ISR start to DPC start ("S/W ISR to DPC", Table 3).
+    pub isr_to_dpc: LatencySeries,
+}
+
+/// Per-thread truth series, keyed by the DPC that signals the thread.
+pub struct ThreadTruth {
+    /// The DPC whose `SetEvent` readies this thread.
+    from_dpc: DpcId,
+    /// Readied (KeSetEvent) to first instruction (thread latency).
+    pub lat: LatencySeries,
+    /// Hardware assert to first instruction (thread interrupt latency).
+    pub int: LatencySeries,
+}
+
 /// Exact latency series from simulator instrumentation.
 ///
 /// Uses ring buffers of recent PIT and DPC events to associate each stage
@@ -269,30 +312,32 @@ pub struct TruthCollector {
     cpu_hz: u64,
     pit_vector: VectorId,
     pit_ring: VecDeque<(Instant, Instant)>, // (asserted, isr started)
-    dpc_ring: IdMap<DpcId, VecDeque<(Instant, Instant)>>, // (queued, started)
-    watch_threads: IdMap<ThreadId, DpcId>, // thread -> its signaling DPC
+    /// Watched DPCs and their latency chains.
+    pub dpcs: IdMap<DpcId, DpcTruth>,
+    /// Watched threads and their latency chains.
+    pub threads: IdMap<ThreadId, ThreadTruth>,
     /// PIT interrupt latency (hardware assert to first ISR instruction),
     /// sampled on **every** tick.
     pub pit_int: LatencySeries,
-    /// Per-DPC: the PIT interrupt latency of the tick that queued this DPC
-    /// — one sample per measurement round, so Table 3's "H/W Int. to S/W
-    /// ISR" row is consistent event-for-event with the DPC rows.
-    pub round_int: IdMap<DpcId, LatencySeries>,
-    /// Per-DPC: queue to start (the paper's DPC latency).
-    pub dpc_lat: IdMap<DpcId, LatencySeries>,
-    /// Per-DPC: hardware assert to DPC start (DPC interrupt latency).
-    pub dpc_int: IdMap<DpcId, LatencySeries>,
-    /// Per-DPC: PIT ISR start to DPC start ("S/W ISR to DPC", Table 3).
-    pub isr_to_dpc: IdMap<DpcId, LatencySeries>,
-    /// Per-thread: readied (KeSetEvent) to first instruction (thread
-    /// latency).
-    pub thread_lat: IdMap<ThreadId, LatencySeries>,
-    /// Per-thread: hardware assert to first instruction (thread interrupt
-    /// latency).
-    pub thread_int: IdMap<ThreadId, LatencySeries>,
 }
 
 const RING: usize = 256;
+
+/// Latest PIT (assertion, ISR start) pair asserted at or before `t`.
+fn pit_entry_before(ring: &VecDeque<(Instant, Instant)>, t: Instant) -> Option<(Instant, Instant)> {
+    ring.iter()
+        .rev()
+        .find(|&&(asserted, _)| asserted <= t)
+        .copied()
+}
+
+/// Latest PIT ISR start at or before `t`.
+fn pit_start_before(ring: &VecDeque<(Instant, Instant)>, t: Instant) -> Option<Instant> {
+    ring.iter()
+        .rev()
+        .find(|&&(_, started)| started <= t)
+        .map(|&(_, s)| s)
+}
 
 impl TruthCollector {
     /// Creates a collector for the given kernel's PIT.
@@ -301,15 +346,9 @@ impl TruthCollector {
             cpu_hz: k.config().cpu_hz,
             pit_vector: k.pit_vector(),
             pit_ring: VecDeque::with_capacity(RING),
-            dpc_ring: IdMap::default(),
-            watch_threads: IdMap::default(),
+            dpcs: IdMap::default(),
+            threads: IdMap::default(),
             pit_int: LatencySeries::new("PIT interrupt latency", k.config().cpu_hz),
-            round_int: IdMap::default(),
-            dpc_lat: IdMap::default(),
-            dpc_int: IdMap::default(),
-            isr_to_dpc: IdMap::default(),
-            thread_lat: IdMap::default(),
-            thread_int: IdMap::default(),
         }
     }
 
@@ -322,62 +361,27 @@ impl TruthCollector {
     /// Watches a DPC's latency chain.
     pub fn watch_dpc(&mut self, dpc: DpcId) {
         let hz = self.cpu_hz;
-        self.dpc_ring.entry(dpc).or_default();
-        self.round_int
-            .entry(dpc)
-            .or_insert_with(|| LatencySeries::new("interrupt latency (per round)", hz));
-        self.dpc_lat
-            .entry(dpc)
-            .or_insert_with(|| LatencySeries::new("DPC latency", hz));
-        self.dpc_int
-            .entry(dpc)
-            .or_insert_with(|| LatencySeries::new("DPC interrupt latency", hz));
-        self.isr_to_dpc
-            .entry(dpc)
-            .or_insert_with(|| LatencySeries::new("ISR to DPC", hz));
+        self.dpcs.entry(dpc).or_insert_with(|| DpcTruth {
+            ring: VecDeque::with_capacity(RING),
+            round_int: LatencySeries::new("interrupt latency (per round)", hz),
+            lat: LatencySeries::new("DPC latency", hz),
+            int: LatencySeries::new("DPC interrupt latency", hz),
+            isr_to_dpc: LatencySeries::new("ISR to DPC", hz),
+        });
     }
 
     /// Watches a thread signaled by `from_dpc`.
     pub fn watch_thread(&mut self, t: ThreadId, from_dpc: DpcId) {
         let hz = self.cpu_hz;
-        self.watch_threads.insert(t, from_dpc);
-        self.thread_lat
-            .entry(t)
-            .or_insert_with(|| LatencySeries::new("thread latency", hz));
-        self.thread_int
-            .entry(t)
-            .or_insert_with(|| LatencySeries::new("thread interrupt latency", hz));
+        self.threads.entry(t).or_insert_with(|| ThreadTruth {
+            from_dpc,
+            lat: LatencySeries::new("thread latency", hz),
+            int: LatencySeries::new("thread interrupt latency", hz),
+        });
     }
 
     fn ms(&self, c: Cycles) -> f64 {
         c.as_ms_at(self.cpu_hz)
-    }
-
-    /// Latest PIT assertion at or before `t`.
-    fn pit_assert_before(&self, t: Instant) -> Option<Instant> {
-        self.pit_ring
-            .iter()
-            .rev()
-            .find(|&&(asserted, _)| asserted <= t)
-            .map(|&(a, _)| a)
-    }
-
-    /// Latest PIT (assertion, ISR start) pair asserted at or before `t`.
-    fn pit_entry_before(&self, t: Instant) -> Option<(Instant, Instant)> {
-        self.pit_ring
-            .iter()
-            .rev()
-            .find(|&&(asserted, _)| asserted <= t)
-            .copied()
-    }
-
-    /// Latest PIT ISR start at or before `t`.
-    fn pit_start_before(&self, t: Instant) -> Option<Instant> {
-        self.pit_ring
-            .iter()
-            .rev()
-            .find(|&&(_, started)| started <= t)
-            .map(|&(_, s)| s)
     }
 }
 
@@ -398,64 +402,46 @@ impl Observer for TruthCollector {
     }
 
     fn on_dpc_start(&mut self, e: &DpcStart) {
-        let Some(ring) = self.dpc_ring.get_mut(&e.dpc) else {
+        let hz = self.cpu_hz;
+        let Some(d) = self.dpcs.get_mut(&e.dpc) else {
             return;
         };
-        if ring.len() == RING {
-            ring.pop_front();
+        if d.ring.len() == RING {
+            d.ring.pop_front();
         }
-        ring.push_back((e.queued, e.started));
-        let lat = self.ms(e.started - e.queued);
+        d.ring.push_back((e.queued, e.started));
         let queued = e.queued;
         let started = e.started;
-        self.dpc_lat
-            .get_mut(&e.dpc)
-            .expect("watched dpc has series")
-            .record(started, lat);
-        if let Some((asserted, isr_started)) = self.pit_entry_before(queued) {
-            let v = self.ms(started - asserted);
-            self.dpc_int
-                .get_mut(&e.dpc)
-                .expect("watched dpc has series")
-                .record(started, v);
-            let v = self.ms(isr_started - asserted);
-            self.round_int
-                .get_mut(&e.dpc)
-                .expect("watched dpc has series")
-                .record(started, v);
+        d.lat.record(started, (started - queued).as_ms_at(hz));
+        if let Some((asserted, isr_started)) = pit_entry_before(&self.pit_ring, queued) {
+            d.int.record(started, (started - asserted).as_ms_at(hz));
+            d.round_int
+                .record(started, (isr_started - asserted).as_ms_at(hz));
         }
-        if let Some(isr_started) = self.pit_start_before(queued) {
-            let v = self.ms(started - isr_started);
-            self.isr_to_dpc
-                .get_mut(&e.dpc)
-                .expect("watched dpc has series")
-                .record(started, v);
+        if let Some(isr_started) = pit_start_before(&self.pit_ring, queued) {
+            d.isr_to_dpc
+                .record(started, (started - isr_started).as_ms_at(hz));
         }
     }
 
     fn on_thread_resume(&mut self, e: &ThreadResume) {
-        let Some(&dpc) = self.watch_threads.get(&e.thread) else {
+        let hz = self.cpu_hz;
+        let Some(t) = self.threads.get_mut(&e.thread) else {
             return;
         };
-        let lat = self.ms(e.started - e.readied);
-        self.thread_lat
-            .get_mut(&e.thread)
-            .expect("watched thread has series")
-            .record(e.started, lat);
+        t.lat.record(e.started, (e.started - e.readied).as_ms_at(hz));
+        let from_dpc = t.from_dpc;
         // The signal came from inside the DPC's execution: find the DPC
         // activation that readied us, then the PIT assert that queued it.
         let queued = self
-            .dpc_ring
-            .get(&dpc)
-            .and_then(|r| r.iter().rev().find(|&&(_, started)| started <= e.readied))
+            .dpcs
+            .get(&from_dpc)
+            .and_then(|d| d.ring.iter().rev().find(|&&(_, started)| started <= e.readied))
             .map(|&(q, _)| q);
         if let Some(q) = queued {
-            if let Some(asserted) = self.pit_assert_before(q) {
-                let v = self.ms(e.started - asserted);
-                self.thread_int
-                    .get_mut(&e.thread)
-                    .expect("watched thread has series")
-                    .record(e.started, v);
+            if let Some((asserted, _)) = pit_entry_before(&self.pit_ring, q) {
+                let t = self.threads.get_mut(&e.thread).expect("watched above");
+                t.int.record(e.started, (e.started - asserted).as_ms_at(hz));
             }
         }
     }
@@ -506,7 +492,7 @@ mod tests {
         assert!(r28.dpc_to_thread.hist.max_ms() < 0.25);
         let truth = session.truth.borrow();
         assert!(truth.pit_int.hist.count() > 400);
-        let tl = &truth.thread_lat[&session.rt28.thread];
+        let tl = &truth.threads[&session.rt28.thread].lat;
         assert!(tl.hist.count() > 100);
         assert!(tl.hist.max_ms() < 0.25);
     }
@@ -519,7 +505,7 @@ mod tests {
         let r = session.rt28.results.borrow();
         let truth = session.truth.borrow();
         let est = r.est_int_to_dpc.hist.mean_ms();
-        let exact = truth.dpc_int[&session.rt28.dpc].hist.mean_ms();
+        let exact = truth.dpcs[&session.rt28.dpc].int.hist.mean_ms();
         // The paper accepts +/- one PIT period (1 ms) of estimation error.
         assert!(
             (est - exact).abs() <= 1.0,
@@ -533,8 +519,8 @@ mod tests {
         let session = MeasurementSession::install(&mut k, 1.0);
         k.run_for(Cycles::from_ms(300.0));
         let truth = session.truth.borrow();
-        let l28 = truth.thread_lat[&session.rt28.thread].hist.max_ms();
-        let l24 = truth.thread_lat[&session.rt24.thread].hist.max_ms();
+        let l28 = truth.threads[&session.rt28.thread].lat.hist.max_ms();
+        let l24 = truth.threads[&session.rt24.thread].lat.hist.max_ms();
         // With no load there is nothing at priority 24 to hide behind,
         // though the rt28 tool's own activity can add a hair.
         assert!(l24 < l28 + 0.2, "idle: 24 ({l24}) ~ 28 ({l28})");

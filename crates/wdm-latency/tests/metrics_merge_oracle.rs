@@ -6,7 +6,7 @@
 //! series, so it inherits the same exactness contract: the merged registry
 //! must equal one registry fed the concatenated stream. Counters are sums,
 //! histograms are bin-wise sums over identical edges, gauges are
-//! last-shard-wins — all three checked here over random shard splits,
+//! max-wins — all three checked here over random shard splits,
 //! plus associativity (fold order cannot matter for the deterministic
 //! artifact) and a live end-to-end check through
 //! [`ScenarioMeasurement::merge_shards`].
@@ -91,7 +91,10 @@ proptest! {
                 *ref_counters.entry(name).or_insert(0u64) += v;
             }
             if let Some(g) = s.gauge {
-                ref_gauge = Some(g);
+                ref_gauge = Some(match ref_gauge {
+                    Some(prev) => g.max(prev),
+                    None => g,
+                });
             }
             for (a, b) in ref_hist.iter_mut().zip(&s.hist_counts) {
                 *a += b;
@@ -107,7 +110,7 @@ proptest! {
         }
         match (merged.get("g.depth"), ref_gauge) {
             (Some(MetricValue::Gauge(g)), Some(want)) => {
-                prop_assert_eq!(g.to_bits(), want.to_bits(), "gauge is last-shard-wins");
+                prop_assert_eq!(g.to_bits(), want.to_bits(), "gauge is max-wins");
             }
             (None, None) => {}
             (got, want) => prop_assert!(false, "gauge mismatch: {:?} vs {:?}", got, want),

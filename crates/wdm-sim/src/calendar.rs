@@ -33,11 +33,7 @@ use std::{
     collections::BinaryHeap,
 };
 
-use crate::{
-    thread::Tcb,
-    time::Instant,
-    timer::{KTimer, Pit},
-};
+use crate::{time::Instant, timer::Pit};
 
 /// One armed deadline: the object's index and the generation its deadline
 /// field carried when the entry was pushed.
@@ -243,9 +239,11 @@ pub struct Calendar {
     /// makes same-instant arrivals fire in schedule order.
     env: BinaryHeap<Reverse<(u64, u64, usize)>>,
     env_seq: u64,
-    /// Armed KTimer deadlines, validated against `KTimer::due_gen`.
+    /// Armed KTimer deadlines, validated against the timer table's
+    /// `due_gen` column.
     timers: DeadlineHeap,
-    /// Thread wait deadlines/sleeps, validated against `Tcb::deadline_gen`.
+    /// Thread wait deadlines/sleeps, validated against the thread table's
+    /// `deadline_gen` column.
     waits: DeadlineHeap,
 }
 
@@ -318,39 +316,39 @@ impl Calendar {
     }
 
     /// Records that an armed timer's live entry went stale (cancel or
-    /// re-set), then compacts if stale entries dominate.
-    pub fn timer_invalidated(&mut self, timers: &[KTimer]) {
+    /// re-set), then compacts if stale entries dominate. `due_gen` is the
+    /// timer table's generation column (an entry is live iff its recorded
+    /// generation still matches).
+    pub fn timer_invalidated(&mut self, due_gen: &[u64]) {
         self.timers.note_stale();
-        self.timers
-            .maintain(|i, g| timers[i as usize].due_gen == g);
+        self.timers.maintain(|i, g| due_gen[i as usize] == g);
     }
 
     /// Records that a waiting thread's live entry went stale (signal wake
     /// before the deadline), then compacts if stale entries dominate.
-    pub fn wait_invalidated(&mut self, threads: &[Tcb]) {
+    /// `deadline_gen` is the thread table's generation column.
+    pub fn wait_invalidated(&mut self, deadline_gen: &[u64]) {
         self.waits.note_stale();
-        self.waits
-            .maintain(|i, g| threads[i as usize].deadline_gen == g);
+        self.waits.maintain(|i, g| deadline_gen[i as usize] == g);
     }
 
     /// Number of timers due at `now`: an O(due) prefix count over the
     /// timer heap (the clock ISR body cost model multiplies by this).
-    pub fn due_timer_count(&mut self, now: Instant, timers: &[KTimer]) -> usize {
-        self.timers
-            .count_due(now, |i, g| timers[i as usize].due_gen == g)
+    pub fn due_timer_count(&mut self, now: Instant, due_gen: &[u64]) -> usize {
+        self.timers.count_due(now, |i, g| due_gen[i as usize] == g)
     }
 
     /// Pops the timers due at `now` into `out`, ascending by timer index.
-    pub fn take_due_timers(&mut self, now: Instant, timers: &[KTimer], out: &mut Vec<u32>) {
+    pub fn take_due_timers(&mut self, now: Instant, due_gen: &[u64], out: &mut Vec<u32>) {
         self.timers
-            .pop_due_into(now, |i, g| timers[i as usize].due_gen == g, out);
+            .pop_due_into(now, |i, g| due_gen[i as usize] == g, out);
     }
 
     /// Pops the threads whose wait deadline expired at `now` into `out`,
     /// ascending by thread index.
-    pub fn take_due_waits(&mut self, now: Instant, threads: &[Tcb], out: &mut Vec<u32>) {
+    pub fn take_due_waits(&mut self, now: Instant, deadline_gen: &[u64], out: &mut Vec<u32>) {
         self.waits
-            .pop_due_into(now, |i, g| threads[i as usize].deadline_gen == g, out);
+            .pop_due_into(now, |i, g| deadline_gen[i as usize] == g, out);
     }
 
     /// Total due entries processed across both deadline heaps — pops,

@@ -1,0 +1,331 @@
+//! Program compilation: superblock instruction streams.
+//!
+//! The paper's measurement drivers are straight-line code whose only
+//! interesting events are kernel calls (§2.2.1–2.2.5). Interpreting them
+//! one [`Step`] at a time costs a virtual `Program::step` call, a
+//! `StepCtx` construction and an enum re-match per step. A program whose
+//! step stream is *static* — the same sequence every activation, never
+//! reading [`crate::step::StepCtx`] — can instead be lowered once, at
+//! attach time, into a [`CompiledBlock`]: a dense `Vec` of fixed-width ops
+//! with pre-resolved ids, busy runs carrying prefix-summed cycle tables,
+//! and branch targets as indices. The kernel's step loops then execute a
+//! tight cursor walk (DESIGN.md §11).
+//!
+//! # The static-shape contract
+//!
+//! [`crate::step::Program::shape`] returning `Some` is a promise:
+//!
+//! - `step` yields exactly `steps[0], steps[1], ...` each activation
+//!   (wrapping forever when `looping`, ending in `Step::Return`s when not),
+//! - neither `begin` nor `step` reads or writes the `StepCtx` — no RNG
+//!   draws, no blackboard access, no dependence on `now`,
+//! - `begin` only rewinds the stream to the start.
+//!
+//! Under that contract, walking the compiled block instead of stepping the
+//! boxed program is unobservable: the kernel executes the same steps at
+//! the same instants, draws the same RNG values (none), and bumps the same
+//! counters. The compiled-vs-interpreted proptest oracle
+//! (`compile_equivalence.rs`) and the committed cell digests pin this.
+//!
+//! # Superblocks and `sim_events`
+//!
+//! Consecutive `Busy` steps are *not* merged at compile time — each step
+//! is one simulated event, so merging would change `sim_events` whenever a
+//! run straddles a preemption horizon. Instead each maximal run of busy
+//! ops carries per-chunk prefix sums ([`BusyChunk::prefix`]); at execution
+//! the walker binary-searches the largest fusable prefix against the
+//! horizon budget and charges it in one step, bumping `sim_events` by
+//! exactly the number of chunks fused — byte-identical to the interpreted
+//! batcher fusing them one at a time (DESIGN.md §8).
+
+use std::rc::Rc;
+
+use crate::{
+    labels::Label,
+    step::Step,
+    time::Cycles, //
+};
+
+/// A static description of a program's step stream: the exact steps it
+/// yields, and whether the sequence repeats forever or plays once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramShape {
+    /// The steps, in yield order.
+    pub steps: Vec<Step>,
+    /// `true` for cyclic programs (`LoopSeq`-like): after the last step
+    /// the stream wraps to the first. `false` for run-once bodies
+    /// (`OpSeq`-like): after the last step the program yields
+    /// `Step::Return` forever.
+    pub looping: bool,
+}
+
+/// One op of a compiled stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum COp {
+    /// A busy chunk; its cycles, label and run prefix sums live in the
+    /// parallel `CompiledBlock::chunk` table at the same index.
+    Busy,
+    /// Any non-busy step, executed through the kernel's shared service
+    /// arms — identical code to the interpreted path by construction.
+    Other(Step),
+    /// Transfer the cursor (a loop back-edge). Not a simulated step:
+    /// executes inline with no counter bumps, exactly like `LoopSeq`'s
+    /// internal index wrap.
+    Jump(u32),
+}
+
+/// Per-op busy data, parallel to `CompiledBlock::ops`. Meaningful only
+/// at indices whose op is [`COp::Busy`]; other slots are zeroed padding so
+/// lookups stay branch-free.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusyChunk {
+    /// CPU to consume.
+    pub cycles: Cycles,
+    /// Attribution for the cause tool.
+    pub label: Label,
+    /// Cumulative cycles from the start of this maximal busy run through
+    /// this chunk *inclusive*. Strictly increasing within a run, so the
+    /// walker can `partition_point` for the largest horizon-fusable
+    /// prefix.
+    pub prefix: Cycles,
+    /// One past the last op index of this maximal busy run.
+    pub run_end: u32,
+}
+
+impl Default for BusyChunk {
+    fn default() -> BusyChunk {
+        BusyChunk {
+            cycles: Cycles::ZERO,
+            label: Label::IDLE,
+            prefix: Cycles::ZERO,
+            run_end: 0,
+        }
+    }
+}
+
+/// A program lowered to a flat, dispatch-free instruction stream.
+#[derive(Debug, PartialEq)]
+pub struct CompiledBlock {
+    ops: Vec<COp>,
+    chunk: Vec<BusyChunk>,
+}
+
+impl CompiledBlock {
+    /// Lowers a static shape into a compiled block.
+    pub fn lower(shape: &ProgramShape) -> CompiledBlock {
+        let mut ops: Vec<COp> = Vec::with_capacity(shape.steps.len() + 1);
+        let mut chunk: Vec<BusyChunk> = Vec::with_capacity(shape.steps.len() + 1);
+        for &s in &shape.steps {
+            match s {
+                Step::Busy { cycles, label } => {
+                    ops.push(COp::Busy);
+                    chunk.push(BusyChunk {
+                        cycles,
+                        label,
+                        prefix: Cycles::ZERO, // filled below
+                        run_end: 0,
+                    });
+                }
+                other => {
+                    ops.push(COp::Other(other));
+                    chunk.push(BusyChunk::default());
+                }
+            }
+        }
+        if shape.looping {
+            ops.push(COp::Jump(0));
+        } else {
+            // Run-once bodies yield `Return` forever once exhausted; the
+            // trailing op makes the cursor self-parking. (`Return` retires
+            // the activation, so the cursor never advances past it.)
+            ops.push(COp::Other(Step::Return));
+        }
+        chunk.push(BusyChunk::default());
+        // Prefix-sum each maximal run of consecutive busy ops.
+        let mut i = 0;
+        while i < ops.len() {
+            if ops[i] != COp::Busy {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            let mut sum = Cycles::ZERO;
+            while i < ops.len() && ops[i] == COp::Busy {
+                sum += chunk[i].cycles;
+                chunk[i].prefix = sum;
+                i += 1;
+            }
+            let run_end = i as u32;
+            for c in &mut chunk[start..i] {
+                c.run_end = run_end;
+            }
+        }
+        CompiledBlock { ops, chunk }
+    }
+
+    /// The op at `pc`. The stream is self-parking (`Return` retires before
+    /// the cursor moves past it; `Jump` wraps), so a live cursor is always
+    /// in bounds.
+    #[inline]
+    pub fn op(&self, pc: u32) -> COp {
+        self.ops[pc as usize]
+    }
+
+    /// The busy-chunk data for the op at `pc`.
+    #[inline]
+    pub fn busy(&self, pc: u32) -> BusyChunk {
+        self.chunk[pc as usize]
+    }
+
+    /// Largest `m` in `[pc, run_end)` such that the cumulative cycles of
+    /// chunks `pc..=m` stay strictly under `budget`, or `None` if even the
+    /// chunk at `pc` does not fit. `pc` must point at a `COp::Busy`.
+    ///
+    /// Mirrors the interpreted batcher chunk-by-chunk: prefixes within a
+    /// run are strictly increasing, so "every intermediate end lands
+    /// strictly before the horizon" collapses to one comparison against
+    /// the cumulative sum.
+    #[inline]
+    pub fn fusable_prefix(&self, pc: u32, budget: Cycles) -> Option<u32> {
+        let c = self.chunk[pc as usize];
+        debug_assert!(matches!(self.ops[pc as usize], COp::Busy));
+        let base = c.prefix - c.cycles; // cumulative cycles before `pc`
+        if c.cycles >= budget {
+            return None;
+        }
+        let run = &self.chunk[pc as usize..c.run_end as usize];
+        // First index whose cumulative sum no longer fits.
+        let k = run.partition_point(|ch| ch.prefix - base < budget);
+        debug_assert!(k >= 1, "first chunk fits but partition found none");
+        Some(pc + k as u32 - 1)
+    }
+
+    /// Number of ops (including the synthetic tail op).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True for a block with no ops. Never produced by [`CompiledBlock::lower`],
+    /// which always appends a tail op.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Attach-time cache of lowered blocks, one per distinct program shape.
+///
+/// Kernels attach the same handful of shapes over and over (every device
+/// of a workload shares its ISR shape; the measurement tools attach
+/// identical bodies per cell), so lowering is memoized per kernel. Linear
+/// scan: attach is cold and shapes are few.
+#[derive(Debug, Default)]
+pub struct CompileCache {
+    blocks: Vec<(ProgramShape, Rc<CompiledBlock>)>,
+}
+
+impl CompileCache {
+    /// Creates an empty cache.
+    pub fn new() -> CompileCache {
+        CompileCache::default()
+    }
+
+    /// Returns the compiled block for `shape`, lowering and caching it on
+    /// first sight.
+    pub fn lower(&mut self, shape: &ProgramShape) -> Rc<CompiledBlock> {
+        if let Some((_, b)) = self.blocks.iter().find(|(s, _)| s == shape) {
+            return Rc::clone(b);
+        }
+        let b = Rc::new(CompiledBlock::lower(shape));
+        self.blocks.push((shape.clone(), Rc::clone(&b)));
+        b
+    }
+
+    /// Number of distinct shapes lowered.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if nothing has been lowered.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{EventId, Slot};
+
+    fn busy(c: u64) -> Step {
+        Step::Busy {
+            cycles: Cycles(c),
+            label: Label::KERNEL,
+        }
+    }
+
+    #[test]
+    fn lowers_runs_with_prefix_sums() {
+        let b = CompiledBlock::lower(&ProgramShape {
+            steps: vec![busy(10), busy(20), Step::SetEvent(EventId(0)), busy(5)],
+            looping: false,
+        });
+        assert_eq!(b.len(), 5, "4 steps + synthetic Return");
+        assert_eq!(b.busy(0).prefix, Cycles(10));
+        assert_eq!(b.busy(1).prefix, Cycles(30));
+        assert_eq!(b.busy(0).run_end, 2);
+        assert_eq!(b.busy(1).run_end, 2);
+        assert_eq!(b.busy(3).prefix, Cycles(5));
+        assert_eq!(b.busy(3).run_end, 4);
+        assert_eq!(b.op(2), COp::Other(Step::SetEvent(EventId(0))));
+        assert_eq!(b.op(4), COp::Other(Step::Return));
+    }
+
+    #[test]
+    fn looping_shape_ends_in_jump() {
+        let b = CompiledBlock::lower(&ProgramShape {
+            steps: vec![Step::ReadTsc(Slot(0)), busy(7)],
+            looping: true,
+        });
+        assert_eq!(b.op(2), COp::Jump(0));
+        assert_eq!(b.busy(1).run_end, 2, "jump terminates the busy run");
+    }
+
+    #[test]
+    fn fusable_prefix_matches_chunkwise_fusion() {
+        let b = CompiledBlock::lower(&ProgramShape {
+            steps: vec![busy(10), busy(20), busy(30)],
+            looping: false,
+        });
+        // Budget 15: only chunk 0 (10 < 15; 10+20=30 >= 15).
+        assert_eq!(b.fusable_prefix(0, Cycles(15)), Some(0));
+        // Budget 61: all three (60 < 61).
+        assert_eq!(b.fusable_prefix(0, Cycles(61)), Some(2));
+        // Budget 60: chunks end exactly at the horizon — not fused.
+        assert_eq!(b.fusable_prefix(0, Cycles(60)), Some(1));
+        // Budget 10: first chunk ends exactly at the horizon.
+        assert_eq!(b.fusable_prefix(0, Cycles(10)), None);
+        // Starting mid-run re-bases the prefix.
+        assert_eq!(b.fusable_prefix(1, Cycles(21)), Some(1));
+        assert_eq!(b.fusable_prefix(1, Cycles(20)), None);
+        assert_eq!(b.fusable_prefix(2, Cycles(31)), Some(2));
+    }
+
+    #[test]
+    fn cache_memoizes_per_shape() {
+        let mut cache = CompileCache::new();
+        let s1 = ProgramShape {
+            steps: vec![busy(10), Step::Return],
+            looping: false,
+        };
+        let s2 = ProgramShape {
+            steps: vec![busy(10), Step::Return],
+            looping: true,
+        };
+        let a = cache.lower(&s1);
+        let b = cache.lower(&s1);
+        let c = cache.lower(&s2);
+        assert!(Rc::ptr_eq(&a, &b), "same shape shares one block");
+        assert!(!Rc::ptr_eq(&a, &c), "looping flag is part of the shape");
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -27,6 +27,7 @@ use rand::{rngs::StdRng, RngCore, SeedableRng};
 
 use crate::{
     calendar::Calendar,
+    compile::{COp, CompileCache, CompiledBlock},
     config::KernelConfig,
     dpc::{DpcImportance, DpcQueue},
     env::{EnvAction, EnvSource},
@@ -43,6 +44,7 @@ use crate::{
         CalendarPop, CalendarPopKind, DpcStart, Interest, IsrEnter, Observer, QuantumExpiry,
         ThreadResume,
     },
+    arena::{ThreadTable, TimerTable},
     sched::ReadyQueues,
     step::{Blackboard, ExecState, Program, Step, StepCtx},
     thread::{Tcb, ThreadState},
@@ -58,6 +60,9 @@ pub struct DpcObject {
     pub importance: DpcImportance,
     /// The routine; taken out while executing.
     program: Option<Box<dyn Program>>,
+    /// Compiled stream of the routine, when it has a static shape. While
+    /// present, executions walk this and never touch `program`.
+    compiled: Option<Rc<CompiledBlock>>,
     /// Executions so far.
     pub run_count: u64,
 }
@@ -65,7 +70,12 @@ pub struct DpcObject {
 /// ISR body for a vector: a user program, or the kernel's internal clock
 /// ISR for the PIT vector.
 enum IsrBody {
-    User(Option<Box<dyn Program>>),
+    User {
+        program: Option<Box<dyn Program>>,
+        /// Compiled stream, when the ISR has a static shape. While
+        /// present, dispatches walk this and leave `program` in place.
+        compiled: Option<Rc<CompiledBlock>>,
+    },
     Pit,
 }
 
@@ -93,6 +103,10 @@ enum FrameKind {
         asserted: Instant,
         interrupted: Label,
         program: Option<Box<dyn Program>>,
+        /// Compiled body (cloned from the vector at dispatch); `pc` is
+        /// the cursor, reset to 0 for each activation.
+        compiled: Option<Rc<CompiledBlock>>,
+        pc: u32,
         is_pit: bool,
         phase: u8,
     },
@@ -107,6 +121,10 @@ enum FrameKind {
 struct CurrentDpc {
     dpc: DpcId,
     program: Option<Box<dyn Program>>,
+    /// Compiled routine (cloned from the DPC object at pop); `pc` is the
+    /// cursor, starting at 0 for each execution.
+    compiled: Option<Rc<CompiledBlock>>,
+    pc: u32,
     queued: Instant,
     started: bool,
 }
@@ -165,14 +183,14 @@ pub struct Kernel {
     pit_label: Label,
     dpcs: Vec<DpcObject>,
     dpc_queue: DpcQueue,
-    timers: Vec<KTimer>,
+    timers: TimerTable,
     events: Vec<KEvent>,
     sems: Vec<KSemaphore>,
     mutexes: Vec<KMutex>,
     wait_sets: Vec<Vec<WaitObject>>,
     apc_routines: Vec<Option<Box<dyn Program>>>,
     irps: Vec<Irp>,
-    threads: Vec<Tcb>,
+    threads: ThreadTable,
     ready: ReadyQueues,
     current_thread: Option<ThreadId>,
     frames: Vec<Frame>,
@@ -214,6 +232,10 @@ pub struct Kernel {
     /// Busy chunks charged inline by the batched inner loop (never handed
     /// back to the outer decision loop).
     pub batched_steps: u64,
+    /// Steps executed from compiled instruction streams (a subset of
+    /// `steps_executed`). `compiled_steps / step_dispatches` is the
+    /// `compile_steps_per_dispatch` figure of the timing artifact.
+    pub compiled_steps: u64,
     /// Times the observer list was taken/restored for an event delivery.
     /// The `sim_primitives` bench asserts this stays zero for event kinds
     /// outside the registered interest union.
@@ -226,6 +248,11 @@ pub struct Kernel {
     /// Batched fast-forward enabled (default). The equivalence proptest
     /// turns it off to drive the reference single-step path.
     batching: bool,
+    /// Program compilation enabled (default). Consulted at *attach* time
+    /// only; see [`Kernel::set_program_compilation`].
+    compiling: bool,
+    /// Lowered blocks, memoized per program shape.
+    compile_cache: CompileCache,
     /// Reusable buffer for threads released by a signal; kept empty
     /// between signals so SetEvent/ReleaseSemaphore never allocate.
     wake_scratch: Vec<ThreadId>,
@@ -258,14 +285,14 @@ impl Kernel {
             pit_label,
             dpcs: Vec::new(),
             dpc_queue: DpcQueue::new(dpc_discipline),
-            timers: Vec::new(),
+            timers: TimerTable::default(),
             events: Vec::new(),
             sems: Vec::new(),
             mutexes: Vec::new(),
             wait_sets: Vec::new(),
             apc_routines: Vec::new(),
             irps: Vec::new(),
-            threads: Vec::new(),
+            threads: ThreadTable::default(),
             ready: ReadyQueues::new(),
             current_thread: None,
             frames: Vec::new(),
@@ -283,9 +310,12 @@ impl Kernel {
             steps_executed: 0,
             step_dispatches: 0,
             batched_steps: 0,
+            compiled_steps: 0,
             notify_takes: 0,
             horizon: Instant::ZERO,
             batching: true,
+            compiling: true,
+            compile_cache: CompileCache::new(),
             wake_scratch: Vec::new(),
             due_scratch: Vec::new(),
         }
@@ -372,9 +402,23 @@ impl Kernel {
 
     /// Creates a kernel timer, optionally bound to a DPC queued at expiry.
     pub fn create_timer(&mut self, dpc: Option<DpcId>) -> TimerId {
-        let id = TimerId(self.timers.len());
-        self.timers.push(KTimer::new(dpc));
-        id
+        TimerId(self.timers.push(dpc))
+    }
+
+    /// Lowers a program's static shape into a cached compiled block, when
+    /// compilation is on and the program declares one. Bails (returns
+    /// `None`, leaving the program interpreted) for shapes the walkers
+    /// cannot execute: an empty looping shape would be a cursor cycle with
+    /// no ops to run.
+    fn maybe_compile(&mut self, program: &dyn Program) -> Option<Rc<CompiledBlock>> {
+        if !self.compiling {
+            return None;
+        }
+        let shape = program.shape()?;
+        if shape.looping && shape.steps.is_empty() {
+            return None;
+        }
+        Some(self.compile_cache.lower(&shape))
     }
 
     /// Creates a DPC object.
@@ -384,11 +428,13 @@ impl Kernel {
         importance: DpcImportance,
         program: Box<dyn Program>,
     ) -> DpcId {
+        let compiled = self.maybe_compile(program.as_ref());
         let id = DpcId(self.dpcs.len());
         self.dpcs.push(DpcObject {
             name: name.to_string(),
             importance,
             program: Some(program),
+            compiled,
             run_count: 0,
         });
         id
@@ -396,8 +442,9 @@ impl Kernel {
 
     /// Creates a kernel thread, initially ready.
     pub fn create_thread(&mut self, name: &str, priority: u8, program: Box<dyn Program>) -> ThreadId {
-        let id = ThreadId(self.threads.len());
-        self.threads.push(Tcb::new(name, priority, program));
+        let compiled = self.maybe_compile(program.as_ref());
+        let id = ThreadId(self.threads.push(name, priority, program));
+        self.threads[id.0].compiled = compiled;
         self.ready.push_back(id, priority);
         self.resched = true;
         id
@@ -405,18 +452,26 @@ impl Kernel {
 
     /// Installs a device interrupt vector with a user ISR.
     pub fn install_vector(&mut self, name: &str, irql: Irql, isr: Box<dyn Program>) -> VectorId {
+        let compiled = self.maybe_compile(isr.as_ref());
         let id = self.ic.install(name, irql);
         debug_assert_eq!(id.0, self.isr_bodies.len());
-        self.isr_bodies.push(IsrBody::User(Some(isr)));
+        self.isr_bodies.push(IsrBody::User {
+            program: Some(isr),
+            compiled,
+        });
         id
     }
 
     /// Installs a non-maskable vector: its ISR is dispatched even inside
     /// cli windows, like the Pentium II performance-counter NMI (§6.1).
     pub fn install_nmi_vector(&mut self, name: &str, irql: Irql, isr: Box<dyn Program>) -> VectorId {
+        let compiled = self.maybe_compile(isr.as_ref());
         let id = self.ic.install_nmi(name, irql);
         debug_assert_eq!(id.0, self.isr_bodies.len());
-        self.isr_bodies.push(IsrBody::User(Some(isr)));
+        self.isr_bodies.push(IsrBody::User {
+            program: Some(isr),
+            compiled,
+        });
         id
     }
 
@@ -475,6 +530,30 @@ impl Kernel {
         self.batching = on;
     }
 
+    /// Enables or disables program compilation (enabled by default).
+    ///
+    /// Unlike [`Kernel::set_step_batching`], this is consulted at *attach*
+    /// time (`create_thread` / `create_dpc` / `install_vector`): programs
+    /// attached while the flag is off stay interpreted for their lifetime,
+    /// and toggling mid-run only affects future attachments. Disable it
+    /// before building a scenario to get the fully interpreted reference
+    /// path (`repro --no-compile`). Both settings produce byte-identical
+    /// simulations.
+    pub fn set_program_compilation(&mut self, on: bool) {
+        self.compiling = on;
+    }
+
+    /// Whether program compilation is currently enabled for new
+    /// attachments.
+    pub fn program_compilation(&self) -> bool {
+        self.compiling
+    }
+
+    /// Number of distinct program shapes lowered so far.
+    pub fn compiled_shapes(&self) -> usize {
+        self.compile_cache.len()
+    }
+
     // ------------------------------------------------------------------
     // Introspection
     // ------------------------------------------------------------------
@@ -494,9 +573,21 @@ impl Kernel {
         self.pit_vector
     }
 
-    /// Read access to a thread.
+    /// Read access to a thread's cold record (name, program, stats). The
+    /// hot scheduling fields live in SoA columns; use
+    /// [`Kernel::thread_state`] / [`Kernel::thread_priority`] for those.
     pub fn thread(&self, id: ThreadId) -> &Tcb {
         &self.threads[id.0]
+    }
+
+    /// A thread's scheduling state.
+    pub fn thread_state(&self, id: ThreadId) -> ThreadState {
+        self.threads.state[id.0]
+    }
+
+    /// A thread's current (possibly boosted) priority.
+    pub fn thread_priority(&self, id: ThreadId) -> u8 {
+        self.threads.priority[id.0]
     }
 
     /// Number of created threads.
@@ -603,6 +694,7 @@ impl Kernel {
         m.counter("sim.steps_executed", self.steps_executed);
         m.counter("sim.step_dispatches", self.step_dispatches);
         m.counter("sim.batched_steps", self.batched_steps);
+        m.counter("sim.compiled_steps", self.compiled_steps);
         m.counter("sim.notify_takes", self.notify_takes);
         m.counter("sim.calendar_tick_work", self.calendar_tick_work());
         m.counter("sim.context_switches", self.context_switches);
@@ -631,8 +723,6 @@ impl Kernel {
     pub fn run_until(&mut self, t_end: Instant) {
         while self.now < t_end {
             self.sim_events += 1;
-            // Deliver hardware events that are due.
-            self.fire_due_events();
             // Preemption horizon for this iteration: one calendar peek
             // covers the PIT tick and the next environment arrival. Timer
             // and wait deadlines are tick-granular (they fire *inside* the
@@ -642,7 +732,21 @@ impl Kernel {
             // the heaps `next_wakeup` does not read — so the horizon holds
             // for the whole iteration and the batched step loops fast-
             // forward busy chunks that end strictly before it.
-            self.horizon = t_end.min(self.calendar.next_wakeup());
+            //
+            // The same peek doubles as the due-event gate: `fire_due_events`
+            // pops only entries due at or before `now`, so when the nearest
+            // wakeup is still in the future it would pop nothing and only a
+            // re-peek would follow. Most iterations end on a busy-chunk
+            // completion strictly before the horizon, so this single-peek
+            // path is the common case.
+            let wake = self.calendar.next_wakeup();
+            if wake <= self.now {
+                // Deliver hardware events that are due.
+                self.fire_due_events();
+                self.horizon = t_end.min(self.calendar.next_wakeup());
+            } else {
+                self.horizon = t_end.min(wake);
+            }
             // Materialize what the CPU runs next; the outcome says whether
             // a frame or a thread owns the busy chunk (or the CPU is idle).
             let activity = self.ensure_activity();
@@ -662,9 +766,8 @@ impl Kernel {
                     // running thread's chunk is guaranteed `Busy` here, so
                     // this is the only check `quantum_end` needs.
                     let t = self.current_thread.expect("thread activity");
-                    let tcb = &self.threads[t.0];
-                    if !tcb.in_overhead {
-                        next = next.min(self.now + tcb.quantum_remaining);
+                    if !self.threads.in_overhead[t.0] {
+                        next = next.min(self.now + self.threads.quantum_remaining[t.0]);
                     }
                 }
             }
@@ -800,16 +903,17 @@ impl Kernel {
                 self.account.idle += delta.0;
             }
         } else if let Some(t) = self.current_thread {
-            let tcb = &mut self.threads[t.0];
-            if let ExecState::Busy { remaining, label } = &mut tcb.exec {
+            let i = t.0;
+            if let ExecState::Busy { remaining, label } = &mut self.threads.exec[i] {
                 if *remaining < delta {
                     debug_assert!(false, "thread busy overrun");
                     self.busy_overruns += 1;
                 }
                 *remaining = remaining.saturating_sub(delta);
                 self.current_label = *label;
-                if !tcb.in_overhead {
-                    tcb.quantum_remaining = tcb.quantum_remaining.saturating_sub(delta);
+                if !self.threads.in_overhead[i] {
+                    self.threads.quantum_remaining[i] =
+                        self.threads.quantum_remaining[i].saturating_sub(delta);
                 }
                 self.account.thread += delta.0;
             } else {
@@ -915,7 +1019,7 @@ impl Kernel {
     /// IRQL contributed by the running thread (threads can raise IRQL).
     fn thread_irql(&self) -> Irql {
         self.current_thread
-            .map(|t| self.threads[t.0].irql)
+            .map(|t| self.threads.irql[t.0])
             .unwrap_or(Irql::PASSIVE)
     }
 
@@ -1004,9 +1108,14 @@ impl Kernel {
         let asserted = self.ic.acknowledge(v);
         let interrupted = self.current_label;
         let is_pit = v == self.pit_vector;
-        let program = match &mut self.isr_bodies[v.0] {
-            IsrBody::User(p) => p.take(),
-            IsrBody::Pit => None,
+        // Compiled bodies stay in the vector slot (the walker never calls
+        // `step`); only interpreted bodies move into the frame.
+        let (program, compiled) = match &mut self.isr_bodies[v.0] {
+            IsrBody::User { program, compiled } => match compiled {
+                Some(c) => (None, Some(Rc::clone(c))),
+                None => (program.take(), None),
+            },
+            IsrBody::Pit => (None, None),
         };
         let cost = self.config.isr_dispatch_cost;
         let irql = self.ic.vector(v).irql;
@@ -1016,6 +1125,8 @@ impl Kernel {
             asserted,
             interrupted,
             program,
+            compiled,
+            pc: 0,
             is_pit,
             phase: 0,
         };
@@ -1138,8 +1249,8 @@ impl Kernel {
                     ..
                 } = f.kind
                 {
-                    if let IsrBody::User(slot) = &mut self.isr_bodies[vector.0] {
-                        *slot = Some(p);
+                    if let IsrBody::User { program, .. } = &mut self.isr_bodies[vector.0] {
+                        *program = Some(p);
                     }
                 }
                 FrameOutcome::Changed
@@ -1167,7 +1278,13 @@ impl Kernel {
                     FrameOutcome::Changed
                 }
                 Some(entry) => {
-                    let program = self.dpcs[entry.dpc.0].program.take();
+                    // Compiled routines stay in the DPC object; only
+                    // interpreted routines move into the drain frame.
+                    let obj = &mut self.dpcs[entry.dpc.0];
+                    let (program, compiled) = match &obj.compiled {
+                        Some(c) => (None, Some(Rc::clone(c))),
+                        None => (obj.program.take(), None),
+                    };
                     let cost = self.config.dpc_dispatch_cost;
                     let f = &mut self.frames[idx];
                     let FrameKind::DpcDrain { current } = &mut f.kind else {
@@ -1176,6 +1293,8 @@ impl Kernel {
                     *current = Some(CurrentDpc {
                         dpc: entry.dpc,
                         program,
+                        compiled,
+                        pc: 0,
                         queued: entry.queued_at,
                         started: false,
                     });
@@ -1277,6 +1396,9 @@ impl Kernel {
     /// bumps `sim_events` by the one iteration the single-step path would
     /// have spent, keeping run digests byte-identical.
     fn run_frame_steps(&mut self, idx: usize) -> FrameOutcome {
+        if let Some(block) = self.frame_compiled(idx) {
+            return self.run_frame_compiled(idx, block);
+        }
         let mut program = self.take_frame_program(idx);
         let Some(p) = program.as_mut() else {
             // No program (should not happen for user frames): retire.
@@ -1352,6 +1474,137 @@ impl Kernel {
         }
     }
 
+    /// The compiled body of the frame at `idx`, if it has one.
+    fn frame_compiled(&self, idx: usize) -> Option<Rc<CompiledBlock>> {
+        match &self.frames[idx].kind {
+            FrameKind::Isr { compiled, .. } => compiled.clone(),
+            FrameKind::DpcDrain {
+                current: Some(c), ..
+            } => c.compiled.clone(),
+            _ => None,
+        }
+    }
+
+    /// Stores the compiled cursor back into the frame at `idx`.
+    fn set_frame_pc(&mut self, idx: usize, pc: u32) {
+        match &mut self.frames[idx].kind {
+            FrameKind::Isr { pc: p, .. } => *p = pc,
+            FrameKind::DpcDrain {
+                current: Some(c), ..
+            } => c.pc = pc,
+            _ => unreachable!("compiled cursor on a cli/section frame"),
+        }
+    }
+
+    /// The compiled-stream twin of the interpreted loop in
+    /// [`Kernel::run_frame_steps`]: a cursor walk over the frame's
+    /// [`CompiledBlock`] instead of virtual `step` calls.
+    ///
+    /// Counter parity is exact: every op (never a `Jump`) bumps
+    /// `steps_executed` once, and a fused busy *run* bumps
+    /// `sim_events`/`batched_steps`/`steps_executed` by the number of
+    /// chunks fused — precisely what the interpreted batcher does fusing
+    /// them one at a time — so run digests are independent of compilation.
+    /// The pre-summed prefixes just let the run charge in O(log n) instead
+    /// of a step-call per chunk.
+    fn run_frame_compiled(&mut self, idx: usize, block: Rc<CompiledBlock>) -> FrameOutcome {
+        self.step_dispatches += 1;
+        let is_isr = matches!(self.frames[idx].kind, FrameKind::Isr { .. });
+        let mut pc = match &self.frames[idx].kind {
+            FrameKind::Isr { pc, .. } => *pc,
+            FrameKind::DpcDrain {
+                current: Some(c), ..
+            } => c.pc,
+            _ => unreachable!("compiled walk on a cli/section frame"),
+        };
+        let mut guard = 0u32;
+        loop {
+            guard += 1;
+            assert!(guard < 100_000, "ISR/DPC program spinning without time");
+            let step = match block.op(pc) {
+                COp::Jump(target) => {
+                    // A loop back-edge: cursor-only, not a simulated step.
+                    pc = target;
+                    continue;
+                }
+                COp::Busy => {
+                    if self.batching {
+                        let budget = self.horizon - self.now;
+                        if let Some(m) = block.fusable_prefix(pc, budget) {
+                            // Fast-forward the whole fusable run prefix in
+                            // one charge. Chunks ending exactly at the
+                            // horizon are NOT fused — `fusable_prefix`
+                            // mirrors the interpreted strictly-before test.
+                            let first = block.busy(pc);
+                            let last = block.busy(m);
+                            let sum = last.prefix - (first.prefix - first.cycles);
+                            let k = (m - pc + 1) as u64;
+                            if is_isr {
+                                self.account.isr += sum.0;
+                            } else {
+                                self.account.dpc += sum.0;
+                            }
+                            self.current_label = last.label;
+                            self.now = self.now + sum;
+                            self.sim_events += k;
+                            self.batched_steps += k;
+                            self.steps_executed += k;
+                            self.compiled_steps += k;
+                            pc = m + 1;
+                            continue;
+                        }
+                    }
+                    // Chunk reaches the horizon (or batching is off): hand
+                    // it back to the decision loop.
+                    let c = block.busy(pc);
+                    pc += 1;
+                    self.steps_executed += 1;
+                    self.compiled_steps += 1;
+                    self.set_frame_pc(idx, pc);
+                    self.frames[idx].exec = ExecState::Busy {
+                        remaining: c.cycles,
+                        label: c.label,
+                    };
+                    return FrameOutcome::Changed;
+                }
+                COp::Other(s) => {
+                    pc += 1;
+                    self.steps_executed += 1;
+                    self.compiled_steps += 1;
+                    s
+                }
+            };
+            match step {
+                Step::BusyCli { cycles, label } => {
+                    self.frames[idx].exec = ExecState::NeedStep;
+                    self.set_frame_pc(idx, pc);
+                    self.push_cli(cycles, label);
+                    return FrameOutcome::Changed;
+                }
+                Step::Return => {
+                    self.set_frame_pc(idx, pc);
+                    self.retire_frame_body(idx);
+                    return FrameOutcome::Changed;
+                }
+                Step::Wait(_) | Step::WaitTimeout(..) | Step::WaitAny(_) | Step::Sleep(_) => {
+                    panic!("blocking step in ISR/DPC context (IRQL >= DISPATCH)")
+                }
+                Step::ReleaseMutex(_) => {
+                    panic!("mutex release in ISR/DPC context (IRQL >= DISPATCH)")
+                }
+                Step::SetPriority(_)
+                | Step::RaiseIrql(_)
+                | Step::LowerIrql
+                | Step::Yield
+                | Step::Exit => {
+                    panic!("thread-only step in ISR/DPC context")
+                }
+                Step::Busy { .. } => unreachable!("busy handled above"),
+                other => self.apply_service_step(other),
+            }
+        }
+    }
+
     /// Ends the body of the frame at `idx` after its program returned.
     fn retire_frame_body(&mut self, idx: usize) {
         match &mut self.frames[idx].kind {
@@ -1363,9 +1616,13 @@ impl Kernel {
                 };
             }
             FrameKind::DpcDrain { current } => {
-                // Return the program to the DPC object and move to the next.
+                // Return the program to the DPC object and move to the
+                // next. Compiled executions never took it (`c.program` is
+                // None), and overwriting would destroy the object's copy.
                 if let Some(c) = current.take() {
-                    self.dpcs[c.dpc.0].program = c.program;
+                    if c.program.is_some() {
+                        self.dpcs[c.dpc.0].program = c.program;
+                    }
                 }
                 self.frames[idx].exec = ExecState::NeedStep;
             }
@@ -1383,27 +1640,27 @@ impl Kernel {
         // Charge pending dispatch/switch overhead first, stashing any
         // interrupted program busy chunk.
         {
-            let tcb = &mut self.threads[t.0];
-            if !tcb.pending_overhead.is_zero() {
-                let d = tcb.pending_overhead;
-                tcb.pending_overhead = Cycles::ZERO;
-                tcb.in_overhead = true;
-                tcb.saved_exec = Some(tcb.exec);
-                tcb.exec = ExecState::Busy {
+            let i = t.0;
+            let d = self.threads.pending_overhead[i];
+            if !d.is_zero() {
+                self.threads.pending_overhead[i] = Cycles::ZERO;
+                self.threads.in_overhead[i] = true;
+                let saved = self.threads.exec[i];
+                self.threads[i].saved_exec = Some(saved);
+                self.threads.exec[i] = ExecState::Busy {
                     remaining: d,
                     label: Label::KERNEL,
                 };
             }
         }
-        match self.threads[t.0].exec {
+        match self.threads.exec[t.0] {
             ExecState::Busy { remaining, .. } if !remaining.is_zero() => {
                 // Overhead does not count against the quantum; program work
                 // does, and an exhausted quantum preempts mid-chunk. The
                 // expiry helper is a no-op while quantum remains, so gate
                 // the call on the (hot) non-zero check.
-                let tcb = &self.threads[t.0];
-                if !tcb.in_overhead
-                    && tcb.quantum_remaining.is_zero()
+                if !self.threads.in_overhead[t.0]
+                    && self.threads.quantum_remaining[t.0].is_zero()
                     && self.maybe_expire_quantum(t)
                 {
                     return ThreadOutcome::Changed;
@@ -1412,17 +1669,18 @@ impl Kernel {
             }
             ExecState::Busy { .. } => {
                 // Chunk complete.
-                let tcb = &mut self.threads[t.0];
-                if tcb.in_overhead {
-                    tcb.in_overhead = false;
-                    tcb.exec = tcb.saved_exec.take().unwrap_or(ExecState::NeedStep);
+                let i = t.0;
+                if self.threads.in_overhead[i] {
+                    self.threads.in_overhead[i] = false;
+                    let saved = self.threads[i].saved_exec.take().unwrap_or(ExecState::NeedStep);
+                    self.threads.exec[i] = saved;
                     // Dispatch complete: if the thread was readied from a
                     // wait, its first post-wait instruction runs now.
-                    if let Some(readied) = tcb.readied_at.take() {
+                    if let Some(readied) = self.threads[i].readied_at.take() {
                         if self.wants(Interest::THREAD_RESUME) {
                             let e = ThreadResume {
                                 thread: t,
-                                priority: self.threads[t.0].priority,
+                                priority: self.threads.priority[i],
                                 readied,
                                 started: self.now,
                             };
@@ -1430,7 +1688,7 @@ impl Kernel {
                         }
                     }
                 } else {
-                    tcb.exec = ExecState::NeedStep;
+                    self.threads.exec[i] = ExecState::NeedStep;
                 }
                 // Quantum check at chunk boundaries.
                 self.maybe_expire_quantum(t);
@@ -1448,21 +1706,20 @@ impl Kernel {
     /// Handles quantum exhaustion: round-robin to a same-priority peer.
     /// Returns true if the thread was descheduled.
     fn maybe_expire_quantum(&mut self, t: ThreadId) -> bool {
-        let tcb = &self.threads[t.0];
-        if !tcb.quantum_remaining.is_zero() {
+        let i = t.0;
+        if !self.threads.quantum_remaining[i].is_zero() {
             return false;
         }
-        let priority = tcb.priority;
+        let priority = self.threads.priority[i];
         let descheduled =
             if self.ready.len_at(priority) > 0 || self.ready.highest_priority() > Some(priority) {
-                let tcb = &mut self.threads[t.0];
-                tcb.state = ThreadState::Ready;
-                tcb.quantum_remaining = self.config.quantum;
+                self.threads.state[i] = ThreadState::Ready;
+                self.threads.quantum_remaining[i] = self.config.quantum;
                 // Wakeup boosts decay one level per expired quantum.
-                if tcb.priority > tcb.base_priority {
-                    tcb.priority -= 1;
+                if self.threads.priority[i] > self.threads[i].base_priority {
+                    self.threads.priority[i] -= 1;
                 }
-                let priority = tcb.priority;
+                let priority = self.threads.priority[i];
                 self.ready.push_back(t, priority);
                 self.current_thread = None;
                 self.resched = true;
@@ -1470,17 +1727,16 @@ impl Kernel {
             } else {
                 // No competition: refresh the quantum in place, decaying any
                 // boost.
-                let tcb = &mut self.threads[t.0];
-                tcb.quantum_remaining = self.config.quantum;
-                if tcb.priority > tcb.base_priority {
-                    tcb.priority -= 1;
+                self.threads.quantum_remaining[i] = self.config.quantum;
+                if self.threads.priority[i] > self.threads[i].base_priority {
+                    self.threads.priority[i] -= 1;
                 }
                 false
             };
         if self.wants(Interest::QUANTUM_EXPIRY) {
             let e = QuantumExpiry {
                 thread: t,
-                priority: self.threads[t.0].priority,
+                priority: self.threads.priority[i],
                 descheduled,
                 at: self.now,
             };
@@ -1509,7 +1765,7 @@ impl Kernel {
         // keeping the absolute horizon fixed for the whole batch.
         let horizon = self
             .horizon
-            .min(self.now + self.threads[t.0].quantum_remaining);
+            .min(self.now + self.threads.quantum_remaining[t.0]);
         let mut guard = 0u32;
         loop {
             guard += 1;
@@ -1533,7 +1789,7 @@ impl Kernel {
             // Deliver pending APCs at PASSIVE level, one at a time, before
             // the thread's own program resumes.
             if self.threads[t.0].active_apc.is_none()
-                && self.threads[t.0].irql == Irql::PASSIVE
+                && self.threads.irql[t.0] == Irql::PASSIVE
                 && !self.threads[t.0].apcs.is_empty()
             {
                 let apc = self.threads[t.0].apcs.pop_front().expect("non-empty");
@@ -1563,6 +1819,63 @@ impl Kernel {
                     p.step(&mut ctx)
                 };
                 self.threads[t.0].active_apc = Some((apc, p));
+                step
+            } else if self.threads[t.0].compiled.is_some() {
+                // Compiled acquisition: walk the block instead of calling
+                // the boxed program. The steps produced — and the shared
+                // handling below — are identical to the interpreted path;
+                // fused busy runs are charged here (where the prefix sums
+                // live) with exact counter parity, everything else flows
+                // into the common match.
+                let block = Rc::clone(self.threads[t.0].compiled.as_ref().expect("checked"));
+                let mut pc = self.threads[t.0].pc;
+                let step = loop {
+                    guard += 1;
+                    assert!(guard < 100_000, "thread program spinning without time");
+                    match block.op(pc) {
+                        COp::Jump(target) => pc = target,
+                        COp::Other(s) => {
+                            pc += 1;
+                            self.compiled_steps += 1;
+                            break s;
+                        }
+                        COp::Busy => {
+                            if self.batching {
+                                let budget = horizon - self.now;
+                                if let Some(m) = block.fusable_prefix(pc, budget) {
+                                    let first = block.busy(pc);
+                                    let last = block.busy(m);
+                                    let sum = last.prefix - (first.prefix - first.cycles);
+                                    let k = (m - pc + 1) as u64;
+                                    let i = t.0;
+                                    debug_assert!(
+                                        !self.threads.in_overhead[i],
+                                        "fused chunk during overhead"
+                                    );
+                                    self.threads.quantum_remaining[i] =
+                                        self.threads.quantum_remaining[i].saturating_sub(sum);
+                                    self.account.thread += sum.0;
+                                    self.current_label = last.label;
+                                    self.now = self.now + sum;
+                                    self.sim_events += k;
+                                    self.batched_steps += k;
+                                    self.steps_executed += k;
+                                    self.compiled_steps += k;
+                                    pc = m + 1;
+                                    continue;
+                                }
+                            }
+                            let c = block.busy(pc);
+                            pc += 1;
+                            self.compiled_steps += 1;
+                            break Step::Busy {
+                                cycles: c.cycles,
+                                label: c.label,
+                            };
+                        }
+                    }
+                };
+                self.threads[t.0].pc = pc;
                 step
             } else {
                 let mut program = self.threads[t.0].program.take();
@@ -1613,9 +1926,10 @@ impl Kernel {
                         // ending exactly at the horizon is NOT fused — due
                         // events and quantum expiry must be processed
                         // before the next step.
-                        let tcb = &mut self.threads[t.0];
-                        debug_assert!(!tcb.in_overhead, "fused chunk during overhead");
-                        tcb.quantum_remaining = tcb.quantum_remaining.saturating_sub(cycles);
+                        let i = t.0;
+                        debug_assert!(!self.threads.in_overhead[i], "fused chunk during overhead");
+                        self.threads.quantum_remaining[i] =
+                            self.threads.quantum_remaining[i].saturating_sub(cycles);
                         self.account.thread += cycles.0;
                         self.current_label = label;
                         self.now = end;
@@ -1623,7 +1937,7 @@ impl Kernel {
                         self.batched_steps += 1;
                         continue;
                     }
-                    self.threads[t.0].exec = ExecState::Busy {
+                    self.threads.exec[t.0] = ExecState::Busy {
                         remaining: cycles,
                         label,
                     };
@@ -1687,7 +2001,7 @@ impl Kernel {
                 }
                 Step::SetPriority(p_new) => {
                     assert!((1..=31).contains(&p_new), "priority out of range");
-                    self.threads[t.0].priority = p_new;
+                    self.threads.priority[t.0] = p_new;
                     self.threads[t.0].base_priority = p_new;
                     // A lowered priority may let a ready thread preempt.
                     if self.ready.highest_priority() > Some(p_new) {
@@ -1697,34 +2011,33 @@ impl Kernel {
                 }
                 Step::RaiseIrql(irql) => {
                     assert!(
-                        irql > self.threads[t.0].irql,
+                        irql > self.threads.irql[t.0],
                         "KeRaiseIrql must raise the IRQL"
                     );
-                    self.threads[t.0].irql = irql;
+                    self.threads.irql[t.0] = irql;
                     return self.charge_service(t);
                 }
                 Step::LowerIrql => {
-                    self.threads[t.0].irql = Irql::PASSIVE;
+                    self.threads.irql[t.0] = Irql::PASSIVE;
                     // DPCs blocked while raised may now drain, and any
                     // dispatch deferred by the raised IRQL must be retried.
                     self.resched = true;
                     return self.charge_service(t);
                 }
                 Step::Yield => {
-                    let priority = self.threads[t.0].priority;
+                    let priority = self.threads.priority[t.0];
                     if self.ready.len_at(priority) > 0
                         || self.ready.highest_priority() > Some(priority)
                     {
-                        let tcb = &mut self.threads[t.0];
-                        tcb.state = ThreadState::Ready;
-                        tcb.quantum_remaining = self.config.quantum;
+                        self.threads.state[t.0] = ThreadState::Ready;
+                        self.threads.quantum_remaining[t.0] = self.config.quantum;
                         self.ready.push_back(t, priority);
                         self.current_thread = None;
                         self.resched = true;
                         return ThreadOutcome::Changed;
                     }
                     // Nobody to yield to; refresh quantum and continue.
-                    self.threads[t.0].quantum_remaining = self.config.quantum;
+                    self.threads.quantum_remaining[t.0] = self.config.quantum;
                     return self.charge_service(t);
                 }
                 Step::Exit => {
@@ -1749,7 +2062,7 @@ impl Kernel {
     /// yields back to the main loop. Guarantees forward progress for
     /// programs made of instantaneous kernel calls.
     fn charge_service(&mut self, t: ThreadId) -> ThreadOutcome {
-        self.threads[t.0].exec = ExecState::Busy {
+        self.threads.exec[t.0] = ExecState::Busy {
             remaining: self.config.service_call_cost,
             label: Label::KERNEL,
         };
@@ -1757,30 +2070,29 @@ impl Kernel {
     }
 
     fn exit_thread(&mut self, t: ThreadId) {
-        let tcb = &mut self.threads[t.0];
-        tcb.state = ThreadState::Terminated;
-        tcb.program = None;
+        self.threads.state[t.0] = ThreadState::Terminated;
+        self.threads[t.0].program = None;
         self.current_thread = None;
         self.resched = true;
     }
 
     fn block_thread(&mut self, t: ThreadId, obj: Option<WaitObject>, deadline: Option<Instant>) {
         {
-            let tcb = &mut self.threads[t.0];
+            let i = t.0;
             assert_eq!(
-                tcb.irql,
+                self.threads.irql[i],
                 Irql::PASSIVE,
                 "thread blocked at raised IRQL"
             );
-            tcb.state = ThreadState::Waiting;
-            tcb.wait = obj;
-            tcb.wait_deadline = deadline;
+            self.threads.state[i] = ThreadState::Waiting;
+            self.threads[i].wait = obj;
+            self.threads.wait_deadline[i] = deadline;
             if deadline.is_some() {
-                tcb.deadline_gen += 1;
+                self.threads.deadline_gen[i] += 1;
             }
         }
         if let Some(d) = deadline {
-            let gen = self.threads[t.0].deadline_gen;
+            let gen = self.threads.deadline_gen[t.0];
             self.calendar.arm_wait(t.0 as u32, d, gen);
         }
         if let Some(obj) = obj {
@@ -1811,12 +2123,16 @@ impl Kernel {
     /// Blocks the current thread on a WaitAny set.
     fn block_thread_any(&mut self, t: ThreadId, set: WaitSetId) {
         {
-            let tcb = &mut self.threads[t.0];
-            assert_eq!(tcb.irql, Irql::PASSIVE, "thread blocked at raised IRQL");
-            tcb.state = ThreadState::Waiting;
-            tcb.wait = None;
-            tcb.wait_set = Some(set);
-            tcb.wait_deadline = None;
+            let i = t.0;
+            assert_eq!(
+                self.threads.irql[i],
+                Irql::PASSIVE,
+                "thread blocked at raised IRQL"
+            );
+            self.threads.state[i] = ThreadState::Waiting;
+            self.threads[i].wait = None;
+            self.threads[i].wait_set = Some(set);
+            self.threads.wait_deadline[i] = None;
         }
         // Take the set instead of cloning it per block: `enqueue_waiter`
         // never touches `wait_sets`.
@@ -1856,9 +2172,10 @@ impl Kernel {
             }
             Step::SetEvent(e) => self.do_set_event(e),
             Step::QueueApc(thread, apc) => {
-                let tcb = &mut self.threads[thread.0];
-                if tcb.state != ThreadState::Terminated && !tcb.apcs.contains(&apc) {
-                    tcb.apcs.push_back(apc);
+                if self.threads.state[thread.0] != ThreadState::Terminated
+                    && !self.threads[thread.0].apcs.contains(&apc)
+                {
+                    self.threads[thread.0].apcs.push_back(apc);
                 }
             }
             Step::ResetEvent(e) => self.events[e.0].reset(),
@@ -1897,19 +2214,19 @@ impl Kernel {
     fn do_set_timer(&mut self, timer: TimerId, due: Cycles, period: Option<Cycles>) {
         let now = self.now;
         // Re-arming orphans the previous calendar entry, if any.
-        if self.timers[timer.0].due.is_some() {
-            self.calendar.timer_invalidated(&self.timers);
+        if self.timers.due[timer.0].is_some() {
+            self.calendar.timer_invalidated(&self.timers.due_gen);
         }
-        self.timers[timer.0].set(now, due, period);
-        let t = &self.timers[timer.0];
-        let deadline = t.due.expect("set arms the timer");
-        self.calendar.arm_timer(timer.0 as u32, deadline, t.due_gen);
+        self.timers.set(timer.0, now, due, period);
+        let deadline = self.timers.due[timer.0].expect("set arms the timer");
+        self.calendar
+            .arm_timer(timer.0 as u32, deadline, self.timers.due_gen[timer.0]);
     }
 
     fn do_cancel_timer(&mut self, t: TimerId) -> bool {
-        let was_armed = self.timers[t.0].cancel();
+        let was_armed = self.timers.cancel(t.0);
         if was_armed {
-            self.calendar.timer_invalidated(&self.timers);
+            self.calendar.timer_invalidated(&self.timers.due_gen);
         }
         was_armed
     }
@@ -1971,32 +2288,40 @@ impl Kernel {
             self.wait_sets[set.0] = objects;
         }
         let boost = self.config.dynamic_boost;
-        let tcb = &mut self.threads[t.0];
-        debug_assert_eq!(tcb.state, ThreadState::Waiting, "readying a non-waiting thread");
-        tcb.state = ThreadState::Ready;
-        tcb.wait = None;
+        let i = t.0;
+        debug_assert_eq!(
+            self.threads.state[i],
+            ThreadState::Waiting,
+            "readying a non-waiting thread"
+        );
+        self.threads.state[i] = ThreadState::Ready;
         // A signal-wake before the deadline orphans the thread's calendar
         // entry; the expiry path clears the deadline before calling here.
-        let deadline_orphaned = tcb.wait_deadline.take().is_some();
+        let deadline_orphaned = self.threads.wait_deadline[i].take().is_some();
         if deadline_orphaned {
-            tcb.deadline_gen += 1;
+            self.threads.deadline_gen[i] += 1;
         }
-        tcb.last_wait_timed_out = false;
-        tcb.readied_at = Some(now);
-        tcb.waits_satisfied += 1;
+        {
+            let tcb = &mut self.threads[i];
+            tcb.wait = None;
+            tcb.last_wait_timed_out = false;
+            tcb.readied_at = Some(now);
+            tcb.waits_satisfied += 1;
+        }
         // NT dispatcher: dynamic-band threads get a wakeup boost; the
         // real-time band never does.
-        if boost > 0 && tcb.base_priority < crate::thread::RT_BAND_START {
-            tcb.priority = (tcb.base_priority + boost).min(15).max(tcb.priority);
+        let base = self.threads[i].base_priority;
+        if boost > 0 && base < crate::thread::RT_BAND_START {
+            self.threads.priority[i] = (base + boost).min(15).max(self.threads.priority[i]);
         }
-        let priority = tcb.priority;
+        let priority = self.threads.priority[i];
         if deadline_orphaned {
-            self.calendar.wait_invalidated(&self.threads);
+            self.calendar.wait_invalidated(&self.threads.deadline_gen);
         }
         self.ready.push_back(t, priority);
         let current_priority = self
             .current_thread
-            .map(|c| self.threads[c.0].priority);
+            .map(|c| self.threads.priority[c.0]);
         if current_priority.is_none() || Some(priority) > current_priority {
             self.resched = true;
         }
@@ -2007,7 +2332,7 @@ impl Kernel {
         self.resched = false;
         // A thread at raised IRQL cannot be preempted by the dispatcher.
         if let Some(c) = self.current_thread {
-            if self.threads[c.0].irql >= Irql::DISPATCH {
+            if self.threads.irql[c.0] >= Irql::DISPATCH {
                 return;
             }
         }
@@ -2015,12 +2340,11 @@ impl Kernel {
         match (self.current_thread, highest) {
             (_, None) => {}
             (Some(c), Some(h)) => {
-                let cp = self.threads[c.0].priority;
+                let cp = self.threads.priority[c.0];
                 if h > cp {
                     // Preempt: the current thread keeps its turn (head) and
                     // its remaining quantum.
-                    let tcb = &mut self.threads[c.0];
-                    tcb.state = ThreadState::Ready;
+                    self.threads.state[c.0] = ThreadState::Ready;
                     self.ready.push_front(c, cp);
                     self.switch_in(Some(c));
                 }
@@ -2037,17 +2361,17 @@ impl Kernel {
             .expect("switch_in with empty ready queues");
         let now = self.now;
         {
-            let tcb = &mut self.threads[next.0];
-            tcb.state = ThreadState::Running;
-            tcb.dispatch_count += 1;
-            if tcb.quantum_remaining.is_zero() {
-                tcb.quantum_remaining = self.config.quantum;
+            let i = next.0;
+            self.threads.state[i] = ThreadState::Running;
+            self.threads[i].dispatch_count += 1;
+            if self.threads.quantum_remaining[i].is_zero() {
+                self.threads.quantum_remaining[i] = self.config.quantum;
             }
             let mut overhead = self.config.dispatch_cost;
             if from != Some(next) {
                 overhead += self.config.context_switch_cost;
             }
-            tcb.pending_overhead = overhead;
+            self.threads.pending_overhead[i] = overhead;
         }
         self.current_thread = Some(next);
         self.context_switches += 1;
@@ -2073,7 +2397,7 @@ impl Kernel {
 
     fn due_timer_count(&mut self) -> usize {
         let now = self.now;
-        self.calendar.due_timer_count(now, &self.timers)
+        self.calendar.due_timer_count(now, &self.timers.due_gen)
     }
 
     /// Fires due timers (queueing their DPCs, waking waiters) and expires
@@ -2090,11 +2414,12 @@ impl Kernel {
         let now = self.now;
         // Timers, ascending timer index.
         let mut due = std::mem::take(&mut self.due_scratch);
-        self.calendar.take_due_timers(now, &self.timers, &mut due);
+        self.calendar
+            .take_due_timers(now, &self.timers.due_gen, &mut due);
         for &ti in &due {
             let i = ti as usize;
-            debug_assert!(self.timers[i].is_due(now), "stale entry survived validation");
-            let dpc = self.timers[i].fire(now);
+            debug_assert!(self.timers.is_due(i, now), "stale entry survived validation");
+            let dpc = self.timers.fire(i, now);
             if let Some(d) = dpc {
                 let importance = self.dpcs[d.0].importance;
                 self.dpc_queue.insert(d, importance, now);
@@ -2102,8 +2427,8 @@ impl Kernel {
             // A periodic timer re-armed itself inside `fire`; push the new
             // deadline. (Like the old per-index scan, it fires at most
             // once per tick even if the new deadline is already due.)
-            if let Some(next_due) = self.timers[i].due {
-                let gen = self.timers[i].due_gen;
+            if let Some(next_due) = self.timers.due[i] {
+                let gen = self.timers.due_gen[i];
                 self.calendar.arm_timer(ti, next_due, gen);
             }
             // Wake timer waiters (notification semantics). Popping one at
@@ -2117,22 +2442,22 @@ impl Kernel {
         }
         // Timed waits and sleeps, ascending thread index.
         due.clear();
-        self.calendar.take_due_waits(now, &self.threads, &mut due);
+        self.calendar
+            .take_due_waits(now, &self.threads.deadline_gen, &mut due);
         for &ti in &due {
             let i = ti as usize;
             let t = ThreadId(i);
             {
                 // Consume the deadline here so `ready_thread_from` does
                 // not report the already-popped entry as orphaned.
-                let tcb = &mut self.threads[i];
                 debug_assert_eq!(
-                    tcb.state,
+                    self.threads.state[i],
                     ThreadState::Waiting,
                     "armed deadline on a non-waiting thread"
                 );
-                debug_assert!(matches!(tcb.wait_deadline, Some(d) if d <= now));
-                tcb.wait_deadline = None;
-                tcb.deadline_gen += 1;
+                debug_assert!(matches!(self.threads.wait_deadline[i], Some(d) if d <= now));
+                self.threads.wait_deadline[i] = None;
+                self.threads.deadline_gen[i] += 1;
             }
             // Unlink from whatever it was waiting on; WaitAny sets are
             // unlinked inside ready_thread_from.

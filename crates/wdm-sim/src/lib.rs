@@ -59,7 +59,9 @@
 //! assert!(!watch.borrow().0.is_empty());
 //! ```
 
+pub mod arena;
 pub mod calendar;
+pub mod compile;
 pub mod config;
 pub mod dpc;
 pub mod env;

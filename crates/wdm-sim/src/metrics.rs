@@ -12,8 +12,10 @@
 //! Merge rules, CI-checkable and proptest-proven in
 //! `wdm-latency/tests/metrics_merge_oracle.rs`:
 //! - **Counter**: sum (saturating, like the measurement counters).
-//! - **Gauge**: last shard wins (used for point-in-time values where a sum
-//!   is meaningless, e.g. a final queue depth).
+//! - **Gauge**: max wins (used for point-in-time values where a sum is
+//!   meaningless, e.g. a peak queue depth). Max is order-independent —
+//!   "last shard wins" was not, and shard merge order is an
+//!   implementation detail of the fan-out, so a gauge must not see it.
 //! - **Histogram**: bin-wise count sum; edges must be identical, merging
 //!   mismatched shapes is a logic error and panics.
 
@@ -24,7 +26,7 @@ use std::collections::BTreeMap;
 pub enum MetricValue {
     /// Monotone count; shards sum.
     Counter(u64),
-    /// Point-in-time value; the last merged shard wins.
+    /// Point-in-time value; the largest merged shard wins.
     Gauge(f64),
     /// Bucketed distribution; shards merge bin-wise over identical edges.
     Histogram {
@@ -103,9 +105,11 @@ impl MetricsSnapshot {
     }
 
     /// Merges another shard's snapshot into this one, exactly: counters
-    /// sum (saturating), gauges take the donor's value, histograms add
-    /// bin-wise. A name present on only one side is kept as-is; a name
-    /// whose *kind* differs between sides is a logic error and panics.
+    /// sum (saturating), gauges keep the larger value, histograms add
+    /// bin-wise. Each rule is commutative and associative, so the result
+    /// is independent of shard merge order. A name present on only one
+    /// side is kept as-is; a name whose *kind* differs between sides is a
+    /// logic error and panics.
     pub fn merge_from(&mut self, other: &MetricsSnapshot) {
         for (name, theirs) in &other.entries {
             match self.entries.get_mut(name) {
@@ -117,7 +121,7 @@ impl MetricsSnapshot {
                         *a = a.saturating_add(*b);
                     }
                     (MetricValue::Gauge(a), MetricValue::Gauge(b)) => {
-                        *a = *b;
+                        *a = a.max(*b);
                     }
                     (
                         MetricValue::Histogram { edges: ea, counts: ca },
@@ -188,7 +192,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn counters_sum_gauges_last_histograms_binwise() {
+    fn counters_sum_gauges_max_histograms_binwise() {
         let mut a = MetricsSnapshot::new();
         a.counter("sim.events", 10);
         a.gauge("queue.depth", 3.0);
@@ -211,6 +215,48 @@ mod tests {
             })
         );
         assert_eq!(a.counter_value("only.b"), Some(1));
+    }
+
+    #[test]
+    fn gauge_merge_keeps_peak_regardless_of_order() {
+        // The donor being *smaller* is the case last-wins got wrong.
+        let mut a = MetricsSnapshot::new();
+        a.gauge("queue.depth", 7.0);
+        let mut b = MetricsSnapshot::new();
+        b.gauge("queue.depth", 3.0);
+        a.merge_from(&b);
+        assert_eq!(a.get("queue.depth"), Some(&MetricValue::Gauge(7.0)));
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let snap = |c: u64, g: f64, h: [u64; 3]| {
+            let mut s = MetricsSnapshot::new();
+            s.counter("c", c);
+            s.gauge("g", g);
+            s.histogram("h", vec![1.0, 2.0], h.to_vec());
+            s
+        };
+        let (x, y, z) = (snap(1, 5.0, [1, 0, 0]), snap(2, 9.0, [0, 2, 0]), snap(4, 7.0, [0, 0, 3]));
+
+        // (x + y) + z
+        let mut left = x.clone();
+        left.merge_from(&y);
+        left.merge_from(&z);
+        // x + (y + z)
+        let mut yz = y.clone();
+        yz.merge_from(&z);
+        let mut right = x.clone();
+        right.merge_from(&yz);
+        // z + y + x (reversed)
+        let mut rev = z.clone();
+        rev.merge_from(&y);
+        rev.merge_from(&x);
+
+        assert_eq!(left, right);
+        assert_eq!(left, rev);
+        assert_eq!(left.counter_value("c"), Some(7));
+        assert_eq!(left.get("g"), Some(&MetricValue::Gauge(9.0)));
     }
 
     #[test]

@@ -5,13 +5,21 @@
 //! 16 real-time priorities, 16 through 31. 24 is the default."). The paper
 //! measures thread latency for kernel threads at real-time default (24) and
 //! high (28) priority.
+//!
+//! [`Tcb`] holds only the *cold* per-thread record — name, program box,
+//! wait bookkeeping, APC queues, stats. The scheduling-hot fields the
+//! decision loop reads every event (state, priority, IRQL, quantum, the
+//! active busy chunk, wait deadlines) live in the parallel columns of
+//! [`crate::arena::ThreadTable`].
+
+use std::rc::Rc;
 
 use crate::{
+    compile::CompiledBlock,
     ids::WaitObject,
-    irql::Irql,
     labels::Label,
     step::{ExecState, Program},
-    time::{Cycles, Instant},
+    time::Instant,
 };
 
 /// Default real-time priority for kernel threads.
@@ -36,51 +44,33 @@ pub enum ThreadState {
     Terminated,
 }
 
-/// A thread control block.
+/// The cold part of a thread control block (see module docs: the hot
+/// scheduling columns live in [`crate::arena::ThreadTable`]).
 pub struct Tcb {
     /// Debug name.
     pub name: String,
-    /// Current (possibly boosted) priority, 1..=31.
-    pub priority: u8,
     /// Base priority boosts decay back to.
     pub base_priority: u8,
-    /// Scheduling state.
-    pub state: ThreadState,
     /// The thread's code. Taken out while the kernel steps it.
     pub program: Option<Box<dyn Program>>,
+    /// Compiled instruction stream, when the program has a static shape
+    /// and compilation was enabled at attach time. While present, the
+    /// kernel walks this instead of calling `program.step`.
+    pub compiled: Option<Rc<CompiledBlock>>,
+    /// Cursor into `compiled`; persists across blocks and preemptions
+    /// exactly like the boxed program's internal position would.
+    pub pc: u32,
     /// Whether `begin` has been delivered to the program.
     pub started: bool,
-    /// Remaining quantum in cycles.
-    ///
-    /// The batched step loop clips its fast-forward horizon to
-    /// `now + quantum_remaining` at dispatch and charges each fused chunk
-    /// against this field in lockstep with `now`, so the absolute expiry
-    /// instant a single-stepping kernel would observe is preserved exactly
-    /// (DESIGN.md §8).
-    pub quantum_remaining: Cycles,
     /// What the thread is blocked on, if waiting on an object.
     pub wait: Option<WaitObject>,
-    /// Absolute deadline for a timed wait or sleep.
-    pub wait_deadline: Option<Instant>,
-    /// Generation of `wait_deadline`: bumped on every transition so the
-    /// event calendar can lazily invalidate stale deadline entries.
-    pub deadline_gen: u64,
     /// Whether the last timed wait expired rather than being satisfied.
     pub last_wait_timed_out: bool,
     /// When the thread was most recently made ready after a wait; the basis
     /// for the paper's thread latency measurement.
     pub readied_at: Option<Instant>,
-    /// Context-switch overhead still to be charged before the program runs.
-    pub pending_overhead: Cycles,
-    /// Whether the currently-executing busy chunk is dispatch overhead
-    /// rather than program work (controls when `readied_at` is consumed).
-    pub in_overhead: bool,
-    /// Execution progress: interrupted busy chunks survive preemption here.
-    pub exec: ExecState,
     /// Program progress stashed while dispatch overhead runs.
     pub saved_exec: Option<ExecState>,
-    /// IRQL the thread has raised itself to (PASSIVE normally).
-    pub irql: Irql,
     /// Label attributed while the kernel runs thread-side bookkeeping.
     pub label: Label,
     /// Pending APCs, FIFO.
@@ -98,30 +88,21 @@ pub struct Tcb {
 }
 
 impl Tcb {
-    /// Creates a ready thread with the given program.
+    /// Creates the cold record for a new thread; `priority` seeds the base
+    /// priority boosts decay back to. Range checking and the hot-column
+    /// defaults are handled by [`crate::arena::ThreadTable::push`].
     pub fn new(name: &str, priority: u8, program: Box<dyn Program>) -> Tcb {
-        assert!(
-            (1..=MAX_PRIORITY).contains(&priority),
-            "thread priority must be 1..=31"
-        );
         Tcb {
             name: name.to_string(),
-            priority,
             base_priority: priority,
-            state: ThreadState::Ready,
             program: Some(program),
+            compiled: None,
+            pc: 0,
             started: false,
-            quantum_remaining: Cycles::ZERO,
             wait: None,
-            wait_deadline: None,
-            deadline_gen: 0,
             last_wait_timed_out: false,
             readied_at: None,
-            pending_overhead: Cycles::ZERO,
-            in_overhead: false,
-            exec: ExecState::NeedStep,
             saved_exec: None,
-            irql: Irql::PASSIVE,
             label: Label::KERNEL,
             apcs: std::collections::VecDeque::new(),
             active_apc: None,
@@ -131,20 +112,13 @@ impl Tcb {
             waits_satisfied: 0,
         }
     }
-
-    /// True if the thread is in the real-time priority band.
-    pub fn is_realtime(&self) -> bool {
-        self.priority >= RT_BAND_START
-    }
 }
 
 impl core::fmt::Debug for Tcb {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Tcb")
             .field("name", &self.name)
-            .field("priority", &self.priority)
-            .field("state", &self.state)
-            .field("irql", &self.irql)
+            .field("base_priority", &self.base_priority)
             .finish_non_exhaustive()
     }
 }
@@ -154,33 +128,16 @@ mod tests {
     use super::*;
     use crate::step::{LoopSeq, Step};
 
-    fn dummy() -> Box<dyn Program> {
-        Box::new(LoopSeq::new(vec![Step::Yield]))
-    }
-
     #[test]
-    fn new_thread_is_ready_at_passive() {
-        let t = Tcb::new("worker", RT_DEFAULT_PRIORITY, dummy());
-        assert_eq!(t.state, ThreadState::Ready);
-        assert_eq!(t.irql, Irql::PASSIVE);
-        assert!(t.is_realtime());
-    }
-
-    #[test]
-    fn realtime_band_boundary() {
-        assert!(!Tcb::new("n", 15, dummy()).is_realtime());
-        assert!(Tcb::new("r", 16, dummy()).is_realtime());
-    }
-
-    #[test]
-    #[should_panic(expected = "1..=31")]
-    fn rejects_priority_zero() {
-        let _ = Tcb::new("bad", 0, dummy());
-    }
-
-    #[test]
-    #[should_panic(expected = "1..=31")]
-    fn rejects_priority_over_31() {
-        let _ = Tcb::new("bad", 32, dummy());
+    fn cold_record_defaults() {
+        let t = Tcb::new(
+            "worker",
+            RT_DEFAULT_PRIORITY,
+            Box::new(LoopSeq::new(vec![Step::Yield])),
+        );
+        assert_eq!(t.base_priority, RT_DEFAULT_PRIORITY);
+        assert!(t.program.is_some());
+        assert!(!t.started);
+        assert_eq!(t.dispatch_count, 0);
     }
 }

@@ -125,6 +125,19 @@ impl core::ops::Sub for Instant {
     }
 }
 
+impl core::ops::Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::SubAssign for Cycles {
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
 impl core::ops::Mul<u64> for Cycles {
     type Output = Cycles;
     fn mul(self, rhs: u64) -> Cycles {

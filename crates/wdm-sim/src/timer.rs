@@ -6,17 +6,22 @@
 //! to 1 kHz so its measurement timer expires every millisecond (§2.2). A
 //! timer may carry an associated DPC, queued at expiry from the clock ISR —
 //! exactly the PIT ISR → DPC hop in Figure 3.
+//!
+//! [`KTimer`] holds only the *cold* per-timer record. The due time and its
+//! validity generation — walked by the clock ISR and the event calendar
+//! every tick — live in the parallel columns of
+//! [`crate::arena::TimerTable`], which also owns the set/cancel/fire state
+//! machine spanning both halves.
 
 use crate::{
     ids::DpcId,
     time::{Cycles, Instant},
 };
 
-/// A kernel timer object.
+/// The cold part of a kernel timer object (see module docs: the due-time
+/// columns live in [`crate::arena::TimerTable`]).
 #[derive(Debug)]
 pub struct KTimer {
-    /// Absolute due time if armed.
-    pub due: Option<Instant>,
     /// Re-arm interval for periodic timers (NT 4.0 added these).
     pub period: Option<Cycles>,
     /// DPC queued when the timer fires, if any.
@@ -27,66 +32,18 @@ pub struct KTimer {
     pub waiters: std::collections::VecDeque<crate::ids::ThreadId>,
     /// Total expirations, for stats.
     pub fire_count: u64,
-    /// Generation of the `due` field: bumped on every set/cancel/fire so
-    /// the event calendar can lazily invalidate stale deadline entries
-    /// (an entry is live iff its recorded generation still matches).
-    pub due_gen: u64,
 }
 
 impl KTimer {
     /// Creates an unarmed timer, optionally bound to a DPC.
     pub fn new(dpc: Option<DpcId>) -> KTimer {
         KTimer {
-            due: None,
             period: None,
             dpc,
             signaled: false,
             waiters: std::collections::VecDeque::new(),
             fire_count: 0,
-            due_gen: 0,
         }
-    }
-
-    /// Arms the timer (`KeSetTimerEx`). Re-arming replaces the previous due
-    /// time and clears the signaled state, per NT semantics.
-    pub fn set(&mut self, now: Instant, due_in: Cycles, period: Option<Cycles>) {
-        self.due = Some(now + due_in);
-        self.due_gen += 1;
-        self.period = period;
-        self.signaled = false;
-    }
-
-    /// Disarms the timer (`KeCancelTimer`). Returns whether it was armed.
-    pub fn cancel(&mut self) -> bool {
-        self.period = None;
-        self.due_gen += 1;
-        self.due.take().is_some()
-    }
-
-    /// True if the timer is due at or before `now`.
-    pub fn is_due(&self, now: Instant) -> bool {
-        matches!(self.due, Some(d) if d <= now)
-    }
-
-    /// Fires the timer: marks it signaled, bumps stats and re-arms periodic
-    /// timers. Returns the DPC to queue, if any.
-    ///
-    /// The caller (the clock ISR path) wakes the waiters.
-    pub fn fire(&mut self, now: Instant) -> Option<DpcId> {
-        debug_assert!(self.is_due(now));
-        self.fire_count += 1;
-        self.signaled = true;
-        self.due_gen += 1;
-        match self.period {
-            Some(p) => {
-                // Periodic timers re-arm relative to the *due* time, not the
-                // firing tick, so they do not drift.
-                let due = self.due.expect("fired timer must have been armed");
-                self.due = Some(due + p);
-            }
-            None => self.due = None,
-        }
-        self.dpc
     }
 }
 
@@ -133,45 +90,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn timer_set_fire_oneshot() {
-        let mut t = KTimer::new(Some(DpcId(3)));
-        t.set(Instant(1000), Cycles(500), None);
-        assert!(!t.is_due(Instant(1499)));
-        assert!(t.is_due(Instant(1500)));
-        assert_eq!(t.fire(Instant(1500)), Some(DpcId(3)));
-        assert!(t.signaled);
-        assert_eq!(t.due, None);
-        assert_eq!(t.fire_count, 1);
-    }
-
-    #[test]
-    fn periodic_timer_rearms_without_drift() {
-        let mut t = KTimer::new(None);
-        t.set(Instant(0), Cycles(100), Some(Cycles(100)));
-        // Fired late (at 130), but the next due time stays on the grid.
-        assert!(t.is_due(Instant(130)));
-        t.fire(Instant(130));
-        assert_eq!(t.due, Some(Instant(200)));
-    }
-
-    #[test]
-    fn rearming_clears_signal() {
-        let mut t = KTimer::new(None);
-        t.set(Instant(0), Cycles(10), None);
-        t.fire(Instant(10));
-        assert!(t.signaled);
-        t.set(Instant(20), Cycles(10), None);
+    fn new_timer_is_unarmed_and_quiet() {
+        let t = KTimer::new(Some(DpcId(3)));
+        assert_eq!(t.dpc, Some(DpcId(3)));
         assert!(!t.signaled);
-    }
-
-    #[test]
-    fn cancel_reports_armed_state() {
-        let mut t = KTimer::new(None);
-        assert!(!t.cancel());
-        t.set(Instant(0), Cycles(10), Some(Cycles(10)));
-        assert!(t.cancel());
-        assert_eq!(t.due, None);
         assert_eq!(t.period, None);
+        assert_eq!(t.fire_count, 0);
+        assert!(t.waiters.is_empty());
     }
 
     #[test]

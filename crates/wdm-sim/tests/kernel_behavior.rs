@@ -576,7 +576,7 @@ fn thread_exit_stops_scheduling() {
         ])),
     );
     k.run_for(Cycles::from_ms(5.0));
-    assert_eq!(k.thread(t).state, ThreadState::Terminated);
+    assert_eq!(k.thread_state(t), ThreadState::Terminated);
     // CPU went idle after the 1 ms of work (minus overheads).
     assert!(k.account.idle > Cycles::from_ms(3.0).0);
 }
