@@ -16,6 +16,7 @@ fn quick() -> RunConfig {
         shards: 1,
         trace: false,
         compile: true,
+        sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
     }
 }
 

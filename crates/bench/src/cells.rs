@@ -5,7 +5,7 @@
 //! paper-equivalent durations) so the renderers can share them.
 
 use wdm_latency::session::{measure_scenario, FlightOptions, MeasureOptions, ScenarioMeasurement};
-use wdm_osmodel::personality::OsKind;
+use wdm_osmodel::{dist::SamplerMode, personality::OsKind};
 use wdm_workloads::{UsageModel, WorkloadKind};
 
 use crate::{progress, spans};
@@ -67,6 +67,12 @@ pub struct RunConfig {
     /// interpreted reference path; outputs are byte-identical either way
     /// (CI's compile-smoke job asserts it against the committed digests).
     pub compile: bool,
+    /// How distribution draws are lowered (`repro --sampler-mode`).
+    /// `Exact` (default) is bit-identical to the interpreted samplers;
+    /// `Table` swaps heavy-tail draws for quantile-table inverse-CDF
+    /// lookups and is pinned by its own digest baseline
+    /// (`artifacts/CELL_digests_table.txt`). See DESIGN.md §12.
+    pub sampler_mode: SamplerMode,
 }
 
 impl Default for RunConfig {
@@ -78,6 +84,7 @@ impl Default for RunConfig {
             shards: 1,
             trace: false,
             compile: true,
+            sampler_mode: SamplerMode::Exact,
         }
     }
 }
@@ -94,6 +101,7 @@ impl RunConfig {
             ..MeasureOptions::default()
         };
         opts.scenario.compile = self.compile;
+        opts.scenario.sampler_mode = self.sampler_mode;
         opts
     }
 }
@@ -247,6 +255,11 @@ pub struct CellTiming {
     /// reports `compiled_steps / step_dispatches` per cell as
     /// `compile_steps_per_dispatch`.
     pub compiled_steps: u64,
+    /// Latency samples recorded across the cell's 11 measurement series.
+    /// The timing artifact reports `samples_recorded / wall_s` per cell as
+    /// `measure_events_per_sec` — the throughput of the cycle-domain
+    /// measurement fast path (DESIGN.md §12).
+    pub samples_recorded: u64,
     /// Wall-clock seconds of each shard, time order (one entry on the
     /// unsharded path). The artifact reports these plus the max/mean
     /// imbalance so load-balance losses in the 8 x K fan-out are visible.
@@ -345,7 +358,7 @@ pub fn measure_all_timed(cfg: &RunConfig) -> TimedCells {
     let mut nt = Vec::new();
     let mut win98 = Vec::new();
     for (&(os, workload), (shards, shard_wall_s)) in cells.iter().zip(per_cell) {
-        let m = ScenarioMeasurement::merge_shards(shards);
+        let mut m = ScenarioMeasurement::merge_shards(shards);
         timings.push(CellTiming {
             os,
             workload,
@@ -356,6 +369,7 @@ pub fn measure_all_timed(cfg: &RunConfig) -> TimedCells {
             // Shards sum this counter exactly in the metrics merge, so the
             // registry is the authoritative per-cell total.
             compiled_steps: m.metrics.counter_value("sim.compiled_steps").unwrap_or(0),
+            samples_recorded: m.samples_recorded(),
             shard_wall_s,
         });
         match os {
@@ -444,6 +458,7 @@ mod tests {
             shards: 1,
             trace: false,
             compile: true,
+            sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
         };
         let m = measure_cell(&cfg, OsKind::Nt4, WorkloadKind::Web);
         // Every-tick series sees ~3k samples in 3 s; the per-round series
@@ -495,6 +510,7 @@ mod tests {
             shards: 8,
             trace: false,
             compile: true,
+            sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
         };
         // Sub-minute window: exactly one shard with the cell's own seed and
         // no block closing, i.e. the pre-shard harness.
@@ -513,6 +529,7 @@ mod tests {
             shards: 2,
             trace: false,
             compile: true,
+            sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
         };
         let specs = cell_shards(&cfg, OsKind::Nt4, WorkloadKind::Business);
         assert_eq!(specs.len(), 2);

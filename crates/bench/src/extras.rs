@@ -585,6 +585,7 @@ mod tests {
             shards: 1,
             trace: false,
             compile: true,
+            sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
         };
         let cells = measure_all(&cfg);
         let t = throughput(&cells);

@@ -5,6 +5,7 @@
 //! ```text
 //! repro <artifact> [--minutes N | --full] [--seed S] [--threads T]
 //!                  [--shards K] [--out DIR] [--no-compile]
+//!                  [--sampler-mode exact|table]
 //!
 //! artifacts:
 //!   table1 table2 table3 table4 figure4 figure5 figure6 figure7
@@ -26,8 +27,9 @@ use wdm_bench::{
     cells::{measure_all, summary_digest, Duration, RunConfig},
     extras, figures, output, progress, tables, timing, tracecmd,
 };
+use wdm_osmodel::dist::SamplerMode;
 
-const USAGE: &str = "usage: repro <artifact> [--minutes N | --full] [--seed S] [--threads T] [--shards K] [--out DIR] [--trace] [--no-compile] [--quiet | --verbose]
+const USAGE: &str = "usage: repro <artifact> [--minutes N | --full] [--seed S] [--threads T] [--shards K] [--out DIR] [--trace] [--no-compile] [--sampler-mode exact|table] [--repeats R] [--quiet | --verbose]
 
 artifacts:
   table1 table2 table3 table4 figure4 figure5 figure6 figure7
@@ -45,6 +47,14 @@ options:
                 the 'trace' artifact implies this and writes TRACE_*.json)
   --no-compile  run programs through the step interpreter instead of the
                 compiled instruction streams (output byte-identical)
+  --sampler-mode exact|table
+                how distribution draws are lowered: 'exact' (default) is
+                bit-identical to the interpreted samplers; 'table' uses
+                quantile-table inverse-CDF lookups (own digest baseline,
+                artifacts/CELL_digests_table.txt)
+  --repeats R   wall-clock attempts per timing side; each cell reports its
+                fastest attempt (timing artifact only; default 3 for quick
+                grids, 1 for --full)
   --quiet       suppress progress lines on stderr
   --verbose     per-shard progress lines on stderr";
 
@@ -82,6 +92,8 @@ fn main() {
     let mut shards = 1usize;
     let mut trace = false;
     let mut compile = true;
+    let mut sampler_mode = SamplerMode::Exact;
+    let mut repeats: Option<usize> = None;
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut verbosity: Option<progress::Verbosity> = None;
     let mut i = 0;
@@ -105,6 +117,21 @@ fn main() {
             }
             "--trace" => trace = true,
             "--no-compile" => compile = false,
+            "--repeats" => {
+                let r: usize = flag_value(&args, &mut i, "--repeats");
+                if r < 1 {
+                    usage_error("--repeats must be at least 1");
+                }
+                repeats = Some(r);
+            }
+            "--sampler-mode" => {
+                let raw: String = flag_value(&args, &mut i, "--sampler-mode");
+                sampler_mode = SamplerMode::parse(&raw).unwrap_or_else(|| {
+                    usage_error(&format!(
+                        "invalid value '{raw}' for --sampler-mode (expected 'exact' or 'table')"
+                    ))
+                });
+            }
             "--quiet" => {
                 if verbosity == Some(progress::Verbosity::Verbose) {
                     usage_error("--quiet and --verbose are mutually exclusive");
@@ -149,6 +176,7 @@ fn main() {
         shards,
         trace,
         compile,
+        sampler_mode,
     };
     let minutes = match duration {
         Duration::Minutes(m) => m,
@@ -238,7 +266,7 @@ fn main() {
                     wdm_bench::parallel::host_cores()
                 ),
             );
-            let r = timing::run(&cfg);
+            let r = timing::run(&cfg, repeats);
             print!("{}", timing::render_summary(&r));
             let json = timing::render_json(&cfg, &r);
             println!("{json}");

@@ -127,6 +127,7 @@ mod tests {
             shards: 1,
             trace: false,
             compile: true,
+            sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
         };
         let cells = measure_all(&cfg);
         let dir = std::env::temp_dir().join("wdm_repro_tsv_test");

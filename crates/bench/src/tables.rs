@@ -160,6 +160,7 @@ mod tests {
             shards: 1,
             trace: false,
             compile: true,
+            sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
         }
     }
 
@@ -192,6 +193,7 @@ mod tests {
             shards: 1,
             trace: false,
             compile: true,
+            sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
         };
         let t = table4(&cfg);
         assert!(t.contains("episodes captured"));

@@ -89,6 +89,7 @@ mod tests {
             shards: 1,
             trace: false,
             compile: true,
+            sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
         }
     }
 

@@ -17,6 +17,7 @@ fn grid_digests_at(minutes: f64, seed: u64, threads: usize, shards: usize) -> Ve
         shards,
         trace: false,
         compile: true,
+        sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
     };
     let t = measure_all_timed(&cfg);
     assert_eq!(t.cells.nt.len(), 4, "NT cells in workload order");
@@ -77,6 +78,7 @@ fn tracing_leaves_the_grid_bit_identical() {
         shards: 1,
         trace: false,
         compile: true,
+        sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
     };
     let traced_cfg = RunConfig { trace: true, ..base };
     let plain = measure_all_timed(&base);
@@ -128,6 +130,7 @@ fn shard_count_changes_the_stream_but_not_the_window() {
         shards: 1,
         trace: false,
         compile: true,
+        sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
     };
     let sharded = RunConfig {
         shards: 2,
@@ -311,6 +314,7 @@ fn digests_are_sensitive_to_the_seed() {
         shards: 1,
         trace: false,
         compile: true,
+        sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
     };
     let t = measure_all_timed(&cfg);
     let b: Vec<String> = t

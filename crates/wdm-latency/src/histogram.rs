@@ -27,13 +27,45 @@ pub struct LatencyHistogram {
     counts: Vec<u64>,
     count: u64,
     sum_ms: f64,
+    /// Extremes folded to ms: samples from [`Self::record_ms`], plus any
+    /// cycle-domain extremes folded in at a clock-rate change or merge.
     max_ms: f64,
     min_ms: f64,
+    /// Pending cycle-domain extremes, valid at `cycles_hz`, live only when
+    /// `cyc_pending`. [`Self::record_cycles`] tracks max/min with pure
+    /// `u64` compares here; the ms conversion happens once, at fold time.
+    /// Because `Cycles::as_ms_at` is weakly monotone, max/min commute with
+    /// the conversion, so the folded result is bit-identical to comparing
+    /// per-sample ms values (DESIGN.md §12).
+    max_c: u64,
+    min_c: u64,
+    cyc_pending: bool,
     /// True when `edges_ms` is exactly [`FIG4_EDGES_MS`]. The edges are
     /// then `0.125 * 2^i`, so the bin index falls out of the sample's
     /// floating-point exponent — no search at all on the hot path (every
     /// observer record in a measurement session lands here).
     fig4: bool,
+    /// Cycle-valued bin edges: `edges_cycles[i]` is the smallest cycle
+    /// count whose ms conversion at `cycles_hz` lands *above* `edges_ms[i]`
+    /// (see DESIGN.md §12), so `partition_point(|&ce| ce <= c)` over these
+    /// is provably identical to `partition_point(|&e| e < as_ms_at(c))`
+    /// over the ms edges. Edges with no representable exceeding cycle
+    /// count (a suffix, since edges increase) are dropped; samples beyond
+    /// them can never out-bin the truncated axis.
+    edges_cycles: Vec<u64>,
+    /// Binade index over `edges_cycles`: entry `b` is the number of cycle
+    /// edges whose bit length is < `b`. A sample of bit length `b` is >=
+    /// every edge of smaller bit length and < every edge of larger one, so
+    /// its bin is `binade_start[b]` plus a linear scan of the (usually
+    /// zero or one) edges sharing its binade — O(1) instead of a binary
+    /// search, branch-predictable on the hot record path.
+    binade_start: [u32; 66],
+    /// Clock rate `edges_cycles` was derived for; 0 = not yet built.
+    /// Rebuilt lazily whenever a sample arrives at a different rate.
+    cycles_hz: u64,
+    /// Samples recorded through the integer [`Self::record_cycles`] fast
+    /// path (vs the float [`Self::record_ms`] path).
+    fast_bin_samples: u64,
 }
 
 /// Bin index on the Figure 4 axis, from the exponent bits.
@@ -71,6 +103,24 @@ impl LatencyHistogram {
             edges_ms.windows(2).all(|w| w[0] < w[1]),
             "bin edges must be strictly increasing"
         );
+        let fig4 = edges_ms == FIG4_EDGES_MS;
+        // One-time axis check (debug builds): the exponent-derived fig4 bin
+        // must agree with the binary search at every edge and its
+        // floating-point neighbors. This replaces the old per-sample
+        // `debug_assert_eq!` double-binning in `record_ms`; the sample-level
+        // equivalence is carried by the binning proptest oracle.
+        #[cfg(debug_assertions)]
+        if fig4 {
+            for &e in edges_ms {
+                for x in [e, f64::from_bits(e.to_bits() - 1), f64::from_bits(e.to_bits() + 1)] {
+                    debug_assert_eq!(
+                        fig4_bin(x),
+                        edges_ms.partition_point(|&edge| edge < x),
+                        "fig4_bin disagrees with partition_point at {x:e}"
+                    );
+                }
+            }
+        }
         LatencyHistogram {
             edges_ms: edges_ms.to_vec(),
             counts: vec![0; edges_ms.len() + 1],
@@ -78,7 +128,14 @@ impl LatencyHistogram {
             sum_ms: 0.0,
             max_ms: 0.0,
             min_ms: f64::INFINITY,
-            fig4: edges_ms == FIG4_EDGES_MS,
+            max_c: 0,
+            min_c: u64::MAX,
+            cyc_pending: false,
+            fig4,
+            edges_cycles: Vec::new(),
+            binade_start: [0; 66],
+            cycles_hz: 0,
+            fast_bin_samples: 0,
         }
     }
 
@@ -93,7 +150,6 @@ impl LatencyHistogram {
         } else {
             self.edges_ms.partition_point(|&e| e < ms)
         };
-        debug_assert_eq!(idx, self.edges_ms.partition_point(|&e| e < ms));
         self.counts[idx] += 1;
         self.count += 1;
         self.sum_ms += ms;
@@ -105,9 +161,95 @@ impl LatencyHistogram {
         }
     }
 
-    /// Records a sample given in cycles at the given clock rate.
+    /// Records a sample given in cycles at the given clock rate, binning
+    /// with a pure `u64` comparison against precomputed cycle edges and
+    /// tracking max/min as raw cycle counts.
+    ///
+    /// `sum_ms` still accumulates the ms conversion sample-by-sample —
+    /// float addition is order-sensitive and the resulting bits are
+    /// digest-pinned, so the summation cannot be deferred. Max/min *can*
+    /// be: `Cycles::as_ms_at` is weakly monotone, so converting the cycle
+    /// extremes at fold time yields bit-identical results to
+    /// [`Self::record_ms`]`(c.as_ms_at(cpu_hz))` per sample. The
+    /// equivalence argument is in DESIGN.md §12 and enforced by the
+    /// `binning_oracle` proptest.
+    #[inline]
     pub fn record_cycles(&mut self, c: Cycles, cpu_hz: u64) {
-        self.record_ms(c.as_ms_at(cpu_hz));
+        if self.cycles_hz != cpu_hz {
+            // Pending extremes are valid at the *old* rate; fold before
+            // the rate switches underneath them.
+            self.fold_cycle_extremes();
+            self.build_cycle_edges(cpu_hz);
+        }
+        // Binade lookup, then a scan of the edges sharing the sample's bit
+        // length — equivalent to `partition_point(|&ce| ce <= c.0)` over
+        // the full edge list (every smaller-binade edge is <= c, every
+        // larger-binade edge is > c). For the Figure 4 axis the edges
+        // double, so the scan is at most one comparison.
+        let b = (64 - c.0.leading_zeros()) as usize;
+        let lo = self.binade_start[b] as usize;
+        let hi = self.binade_start[b + 1] as usize;
+        let mut idx = lo;
+        for &ce in &self.edges_cycles[lo..hi] {
+            idx += usize::from(ce <= c.0);
+        }
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum_ms += c.as_ms_at(cpu_hz);
+        if c.0 > self.max_c {
+            self.max_c = c.0;
+        }
+        if c.0 < self.min_c {
+            self.min_c = c.0;
+        }
+        self.cyc_pending = true;
+        self.fast_bin_samples += 1;
+    }
+
+    /// Folds the pending cycle-domain extremes into the ms fields at the
+    /// rate they were recorded under, and resets them to their identities.
+    /// Idempotent; a no-op when nothing is pending (in particular before
+    /// the first sample, when `cycles_hz` is still 0).
+    fn fold_cycle_extremes(&mut self) {
+        if self.cyc_pending {
+            self.max_ms = self.max_ms.max(Cycles(self.max_c).as_ms_at(self.cycles_hz));
+            self.min_ms = self.min_ms.min(Cycles(self.min_c).as_ms_at(self.cycles_hz));
+            self.max_c = 0;
+            self.min_c = u64::MAX;
+            self.cyc_pending = false;
+        }
+    }
+
+    /// Derives the cycle-valued edges for `cpu_hz`: for each ms edge the
+    /// smallest `c` with `Cycles(c).as_ms_at(cpu_hz) > edge`, found by
+    /// binary search over the *actual* float conversion so float rounding
+    /// is honored exactly rather than re-derived.
+    fn build_cycle_edges(&mut self, cpu_hz: u64) {
+        self.cycles_hz = cpu_hz;
+        self.edges_cycles.clear();
+        for &edge in &self.edges_ms {
+            match cycle_edge_for(edge, cpu_hz) {
+                Some(ce) => self.edges_cycles.push(ce),
+                // No representable cycle count converts above this edge;
+                // the remaining (larger) edges can't be exceeded either.
+                None => break,
+            }
+        }
+        // Rebuild the binade index: bucket count per bit length, then a
+        // prefix sum so `binade_start[b]` counts edges of bit length < b.
+        self.binade_start = [0; 66];
+        for &ce in &self.edges_cycles {
+            let b = (64 - ce.leading_zeros()) as usize;
+            self.binade_start[b + 1] += 1;
+        }
+        for b in 1..66 {
+            self.binade_start[b] += self.binade_start[b - 1];
+        }
+    }
+
+    /// Samples recorded through the integer fast path.
+    pub fn fast_bin_samples(&self) -> u64 {
+        self.fast_bin_samples
     }
 
     /// Total samples.
@@ -115,9 +257,14 @@ impl LatencyHistogram {
         self.count
     }
 
-    /// Largest sample (ms), 0 if empty.
+    /// Largest sample (ms), 0 if empty. Combines the folded ms extreme
+    /// with any pending cycle-domain extreme (converted at its rate).
     pub fn max_ms(&self) -> f64 {
-        self.max_ms
+        if self.cyc_pending {
+            self.max_ms.max(Cycles(self.max_c).as_ms_at(self.cycles_hz))
+        } else {
+            self.max_ms
+        }
     }
 
     /// Smallest sample (ms), 0 if empty.
@@ -128,6 +275,8 @@ impl LatencyHistogram {
     pub fn min_ms(&self) -> f64 {
         if self.count == 0 {
             0.0
+        } else if self.cyc_pending {
+            self.min_ms.min(Cycles(self.min_c).as_ms_at(self.cycles_hz))
         } else {
             self.min_ms
         }
@@ -165,7 +314,8 @@ impl LatencyHistogram {
         if self.count == 0 {
             return 0.0;
         }
-        if ms >= self.max_ms {
+        let (max_ms, min_ms) = (self.max_ms(), self.min_ms());
+        if ms >= max_ms {
             return 0.0;
         }
         let n = self.count as f64;
@@ -182,8 +332,8 @@ impl LatencyHistogram {
                 // log-uniform spread of the bin's mass. Clamping the bin's
                 // upper limit to the observed maximum matters when most of
                 // the mass sits in the top bin.
-                let lo = prev_edge.max(self.min_ms.min(edge)).max(1e-9);
-                let hi = edge.min(self.max_ms).max(lo * 1.0000001);
+                let lo = prev_edge.max(min_ms.min(edge)).max(1e-9);
+                let hi = edge.min(max_ms).max(lo * 1.0000001);
                 let f = ((ms.max(lo)).min(hi).ln() - lo.ln()) / (hi.ln() - lo.ln());
                 let remaining_in_bin = in_bin as f64 * (1.0 - f.clamp(0.0, 1.0));
                 return (above as f64 - in_bin as f64 + remaining_in_bin) / n;
@@ -193,7 +343,7 @@ impl LatencyHistogram {
         }
         // In the overflow bin: between the last edge and max.
         let lo = *self.edges_ms.last().expect("non-empty edges");
-        let hi = self.max_ms.max(lo * 1.0000001);
+        let hi = max_ms.max(lo * 1.0000001);
         let f = ((ms.max(lo)).ln() - lo.ln()) / (hi.ln() - lo.ln());
         above as f64 * (1.0 - f.clamp(0.0, 1.0)) / n
     }
@@ -206,8 +356,9 @@ impl LatencyHistogram {
         if self.count == 0 {
             return 0.0;
         }
+        let max_ms = self.max_ms();
         if p <= 1.0 / self.count as f64 {
-            return self.max_ms;
+            return max_ms;
         }
         let n = self.count as f64;
         let target = p * n; // Samples that may exceed the answer.
@@ -220,19 +371,19 @@ impl LatencyHistogram {
                 // The quantile is inside this bin; log-interpolate, with the
                 // bin's upper limit clamped to the observed maximum.
                 let lo = prev_edge.max(1e-9);
-                let hi = edge.min(self.max_ms).max(lo * 1.0000001);
+                let hi = edge.min(max_ms).max(lo * 1.0000001);
                 if in_bin <= 0.0 {
                     return hi;
                 }
                 let f = (above - target) / in_bin;
                 return (lo.ln() + f.clamp(0.0, 1.0) * (hi.ln() - lo.ln()))
                     .exp()
-                    .min(self.max_ms);
+                    .min(max_ms);
             }
             above = above_after;
             prev_edge = edge;
         }
-        self.max_ms
+        max_ms
     }
 
     /// Merges another histogram with identical edges into this one.
@@ -243,9 +394,40 @@ impl LatencyHistogram {
         }
         self.count += other.count;
         self.sum_ms += other.sum_ms;
-        self.max_ms = self.max_ms.max(other.max_ms);
-        self.min_ms = self.min_ms.min(other.min_ms);
+        // Fold our pending cycle extremes, then take `other`'s through its
+        // accessors (which fold read-only); `other.max_ms()` is 0 when
+        // empty, matching the field's identity, and `min_ms()`'s empty
+        // masking is sidestepped by checking its count.
+        self.fold_cycle_extremes();
+        self.max_ms = self.max_ms.max(other.max_ms());
+        if other.count > 0 {
+            self.min_ms = self.min_ms.min(other.min_ms());
+        }
+        self.fast_bin_samples += other.fast_bin_samples;
     }
+}
+
+/// The smallest cycle count whose ms conversion at `cpu_hz` exceeds
+/// `edge_ms`, or `None` if no representable `u64` does. Binary search over
+/// the monotone non-decreasing `Cycles::as_ms_at`.
+fn cycle_edge_for(edge_ms: f64, cpu_hz: u64) -> Option<u64> {
+    if Cycles(0).as_ms_at(cpu_hz) > edge_ms {
+        return Some(0);
+    }
+    if Cycles(u64::MAX).as_ms_at(cpu_hz) <= edge_ms {
+        return None;
+    }
+    // Invariant: as_ms_at(lo) <= edge < as_ms_at(hi).
+    let (mut lo, mut hi) = (0u64, u64::MAX);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if Cycles(mid).as_ms_at(cpu_hz) > edge_ms {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
 }
 
 #[cfg(test)]
@@ -552,5 +734,80 @@ mod tests {
         h.record_ms(1.0); // bin 0 (inclusive edge)
         h.record_ms(2.0); // overflow
         assert_eq!(h.counts(), &[2, 1]);
+    }
+
+    #[test]
+    fn record_cycles_is_bit_identical_to_ms_path_on_a_dense_sweep() {
+        // Integer binning plus the summary stats must match recording the
+        // converted ms value sample-for-sample, on and around every cycle
+        // count corresponding to a bin edge.
+        let cpu_hz = 300_000_000u64;
+        let mut fast = LatencyHistogram::fig4();
+        let mut slow = LatencyHistogram::fig4();
+        let mut samples: Vec<u64> = vec![0, 1, 2, 17, u64::MAX / 2, u64::MAX];
+        for &e in &FIG4_EDGES_MS {
+            let c = (e * cpu_hz as f64 / 1e3) as u64;
+            samples.extend([c.saturating_sub(1), c, c + 1, c + 2]);
+        }
+        let mut c = 1u64;
+        while c < 10_u64.pow(12) {
+            samples.push(c);
+            c = c * 5 / 3 + 1;
+        }
+        for &c in &samples {
+            fast.record_cycles(Cycles(c), cpu_hz);
+            slow.record_ms(Cycles(c).as_ms_at(cpu_hz));
+        }
+        assert_eq!(fast.counts(), slow.counts());
+        assert_eq!(fast.count(), slow.count());
+        assert_eq!(fast.max_ms().to_bits(), slow.max_ms().to_bits());
+        assert_eq!(fast.min_ms().to_bits(), slow.min_ms().to_bits());
+        assert_eq!(fast.mean_ms().to_bits(), slow.mean_ms().to_bits());
+        assert_eq!(fast.fast_bin_samples(), samples.len() as u64);
+        assert_eq!(slow.fast_bin_samples(), 0);
+    }
+
+    #[test]
+    fn cycle_edges_rebuild_when_the_clock_rate_changes() {
+        let mut h = LatencyHistogram::fig4();
+        h.record_cycles(Cycles(300_000), 300_000_000); // 1 ms at 300 MHz
+        h.record_cycles(Cycles(300_000), 600_000_000); // 0.5 ms at 600 MHz
+        assert_eq!(h.counts()[3], 1); // (0.5, 1.0]
+        assert_eq!(h.counts()[2], 1); // (0.25, 0.5]
+        assert_eq!(h.fast_bin_samples(), 2);
+    }
+
+    #[test]
+    fn merge_sums_fast_bin_samples() {
+        let mut a = LatencyHistogram::fig4();
+        let mut b = LatencyHistogram::fig4();
+        a.record_cycles(Cycles(1_000), 300_000_000);
+        b.record_cycles(Cycles(2_000), 300_000_000);
+        b.record_ms(0.5);
+        a.merge(&b);
+        assert_eq!(a.fast_bin_samples(), 2);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn cycle_edge_is_the_smallest_exceeding_cycle_count() {
+        for hz in [1u64, 999, 300_000_000, 1_000_000_000, u64::MAX] {
+            for edge in [0.125f64, 1.0, 128.0] {
+                if let Some(ce) = cycle_edge_for(edge, hz) {
+                    assert!(Cycles(ce).as_ms_at(hz) > edge, "hz={hz} edge={edge}");
+                    if ce > 0 {
+                        assert!(
+                            Cycles(ce - 1).as_ms_at(hz) <= edge,
+                            "hz={hz} edge={edge}: {ce} not minimal"
+                        );
+                    }
+                }
+            }
+        }
+        // 1 Hz clock: one cycle is 1000 ms, so every fig4 edge maps to the
+        // first cycle and everything non-zero lands in the overflow bin.
+        let mut h = LatencyHistogram::fig4();
+        h.record_cycles(Cycles(1), 1);
+        assert_eq!(*h.counts().last().unwrap(), 1);
     }
 }

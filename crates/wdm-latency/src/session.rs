@@ -151,6 +151,22 @@ impl ScenarioMeasurement {
         }
         acc
     }
+
+    /// Total latency samples recorded across every series — the
+    /// denominator-free measurement volume the bench harness reports as
+    /// `measure_events_per_sec`.
+    pub fn samples_recorded(&mut self) -> u64 {
+        self.series_mut().iter().map(|s| s.hist.count()).sum()
+    }
+
+    /// Samples that took the integer cycle-domain fast path, across every
+    /// series (see `LatencyHistogram::fast_bin_samples`).
+    pub fn fast_bin_samples(&mut self) -> u64 {
+        self.series_mut()
+            .iter()
+            .map(|s| s.hist.fast_bin_samples())
+            .sum()
+    }
 }
 
 /// Flight-recorder attachment for a measurement run.
@@ -309,6 +325,10 @@ pub fn measure_scenario(
     m.metrics.counter("latency.episodes", m.episodes.len() as u64);
     m.metrics.counter("latency.waits_24", m.waits_24);
     m.metrics.counter("latency.waits_28", m.waits_28);
+    // Fraction of samples that binned in the integer cycle domain — the
+    // observability hook for the measurement fast path (ISSUE 7).
+    let fast_bin = m.fast_bin_samples();
+    m.metrics.counter("latency.fast_bin_samples", fast_bin);
     let hists = [
         ("latency.hist.int_to_isr_ms", &m.int_to_isr),
         ("latency.hist.dpc_lat_ms", &m.dpc_lat),

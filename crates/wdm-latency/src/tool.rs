@@ -105,7 +105,6 @@ struct ControlApp {
     asb0: wdm_sim::ids::Slot,
     asb1: wdm_sim::ids::Slot,
     asb2: wdm_sim::ids::Slot,
-    cpu_hz: u64,
     results: Rc<RefCell<ToolResults>>,
     phase: u8,
 }
@@ -139,15 +138,16 @@ impl Program for ControlApp {
                 let t1 = ctx.board.read(self.asb1);
                 let t2 = ctx.board.read(self.asb2);
                 let est_expiry = t0 + self.delay.0;
-                let ms = |c: u64| Cycles(c).as_ms_at(self.cpu_hz);
                 let mut r = self.results.borrow_mut();
                 r.rounds += 1;
+                // Timestamps are TSC cycle counts; record them directly so
+                // binning stays in the integer domain (DESIGN.md §12).
                 r.dpc_to_thread
-                    .record(ctx.now, ms(t2.saturating_sub(t1)));
+                    .record_cycles(ctx.now, Cycles(t2.saturating_sub(t1)));
                 r.est_int_to_dpc
-                    .record(ctx.now, ms(t1.saturating_sub(est_expiry)));
+                    .record_cycles(ctx.now, Cycles(t1.saturating_sub(est_expiry)));
                 r.est_int_to_thread
-                    .record(ctx.now, ms(t2.saturating_sub(est_expiry)));
+                    .record_cycles(ctx.now, Cycles(t2.saturating_sub(est_expiry)));
                 // A tiny bit of user-mode bookkeeping CPU.
                 Step::Busy {
                     cycles: Cycles(600),
@@ -223,7 +223,6 @@ impl LatencyTool {
                 asb0,
                 asb1,
                 asb2,
-                cpu_hz,
                 results: results.clone(),
                 phase: 0,
             }),
@@ -380,9 +379,6 @@ impl TruthCollector {
         });
     }
 
-    fn ms(&self, c: Cycles) -> f64 {
-        c.as_ms_at(self.cpu_hz)
-    }
 }
 
 impl Observer for TruthCollector {
@@ -394,7 +390,7 @@ impl Observer for TruthCollector {
         if e.vector != self.pit_vector {
             return;
         }
-        self.pit_int.record(e.started, self.ms(e.started - e.asserted));
+        self.pit_int.record_cycles(e.started, e.started - e.asserted);
         if self.pit_ring.len() == RING {
             self.pit_ring.pop_front();
         }
@@ -402,7 +398,6 @@ impl Observer for TruthCollector {
     }
 
     fn on_dpc_start(&mut self, e: &DpcStart) {
-        let hz = self.cpu_hz;
         let Some(d) = self.dpcs.get_mut(&e.dpc) else {
             return;
         };
@@ -412,24 +407,21 @@ impl Observer for TruthCollector {
         d.ring.push_back((e.queued, e.started));
         let queued = e.queued;
         let started = e.started;
-        d.lat.record(started, (started - queued).as_ms_at(hz));
+        d.lat.record_cycles(started, started - queued);
         if let Some((asserted, isr_started)) = pit_entry_before(&self.pit_ring, queued) {
-            d.int.record(started, (started - asserted).as_ms_at(hz));
-            d.round_int
-                .record(started, (isr_started - asserted).as_ms_at(hz));
+            d.int.record_cycles(started, started - asserted);
+            d.round_int.record_cycles(started, isr_started - asserted);
         }
         if let Some(isr_started) = pit_start_before(&self.pit_ring, queued) {
-            d.isr_to_dpc
-                .record(started, (started - isr_started).as_ms_at(hz));
+            d.isr_to_dpc.record_cycles(started, started - isr_started);
         }
     }
 
     fn on_thread_resume(&mut self, e: &ThreadResume) {
-        let hz = self.cpu_hz;
         let Some(t) = self.threads.get_mut(&e.thread) else {
             return;
         };
-        t.lat.record(e.started, (e.started - e.readied).as_ms_at(hz));
+        t.lat.record_cycles(e.started, e.started - e.readied);
         let from_dpc = t.from_dpc;
         // The signal came from inside the DPC's execution: find the DPC
         // activation that readied us, then the PIT assert that queued it.
@@ -441,7 +433,7 @@ impl Observer for TruthCollector {
         if let Some(q) = queued {
             if let Some((asserted, _)) = pit_entry_before(&self.pit_ring, q) {
                 let t = self.threads.get_mut(&e.thread).expect("watched above");
-                t.int.record(e.started, (e.started - asserted).as_ms_at(hz));
+                t.int.record_cycles(e.started, e.started - asserted);
             }
         }
     }

@@ -20,11 +20,22 @@ use wdm_sim::time::{Cycles, Instant};
 use crate::histogram::LatencyHistogram;
 
 /// Running per-block maxima of a timestamped latency series.
+///
+/// Samples arrive in the ms domain ([`Self::record`]) or the cycle domain
+/// ([`Self::record_cycles`]); the running maximum is kept per domain and
+/// the domains are reconciled only when a block flushes. Because
+/// cycles→ms conversion is monotone, `max` commutes with it, so a pure
+/// cycle-domain stream flushes bit-identical block maxima to converting
+/// each sample up front (DESIGN.md §12).
 #[derive(Debug, Clone)]
 pub struct BlockMaxima {
     block_len: Cycles,
     cur_block_end: Instant,
     cur_max: f64,
+    /// Running max of cycle-domain samples in the current block.
+    cur_max_c: u64,
+    /// Clock rate for `cur_max_c`; 0 until a cycle sample arrives.
+    cur_hz: u64,
     cur_nonempty: bool,
     maxima: Vec<f64>,
 }
@@ -37,21 +48,62 @@ impl BlockMaxima {
             block_len,
             cur_block_end: Instant::ZERO + block_len,
             cur_max: 0.0,
+            cur_max_c: 0,
+            cur_hz: 0,
             cur_nonempty: false,
             maxima: Vec::new(),
         }
     }
 
+    /// Closes the in-progress block: reconciles the two domains (the ms
+    /// conversion of the cycle max against the ms max), pushes the block
+    /// value, and resets for the next block.
+    fn flush_block(&mut self) {
+        let mut m = self.cur_max;
+        if self.cur_max_c != 0 {
+            let ms = Cycles(self.cur_max_c).as_ms_at(self.cur_hz);
+            if ms > m {
+                m = ms;
+            }
+        }
+        self.maxima.push(if self.cur_nonempty { m } else { 0.0 });
+        self.cur_max = 0.0;
+        self.cur_max_c = 0;
+        self.cur_nonempty = false;
+        self.cur_block_end = self.cur_block_end + self.block_len;
+    }
+
     /// Records a sample observed at `now`.
     pub fn record(&mut self, now: Instant, ms: f64) {
         while now >= self.cur_block_end {
-            self.maxima.push(if self.cur_nonempty { self.cur_max } else { 0.0 });
-            self.cur_max = 0.0;
-            self.cur_nonempty = false;
-            self.cur_block_end = self.cur_block_end + self.block_len;
+            self.flush_block();
         }
         if ms > self.cur_max {
             self.cur_max = ms;
+        }
+        self.cur_nonempty = true;
+    }
+
+    /// Records a cycle-domain sample observed at `now`: one `u64` compare,
+    /// no conversion until the block flushes.
+    pub fn record_cycles(&mut self, now: Instant, c: Cycles, cpu_hz: u64) {
+        if self.cur_hz != cpu_hz {
+            // Rate change mid-block: fold the old-rate max into the ms
+            // domain so the new rate starts clean.
+            if self.cur_max_c != 0 {
+                let ms = Cycles(self.cur_max_c).as_ms_at(self.cur_hz);
+                if ms > self.cur_max {
+                    self.cur_max = ms;
+                }
+                self.cur_max_c = 0;
+            }
+            self.cur_hz = cpu_hz;
+        }
+        while now >= self.cur_block_end {
+            self.flush_block();
+        }
+        if c.0 > self.cur_max_c {
+            self.cur_max_c = c.0;
         }
         self.cur_nonempty = true;
     }
@@ -74,10 +126,7 @@ impl BlockMaxima {
     /// `block_count` blocks are already complete.
     pub fn close_through(&mut self, block_count: usize) {
         while self.maxima.len() < block_count {
-            self.maxima.push(if self.cur_nonempty { self.cur_max } else { 0.0 });
-            self.cur_max = 0.0;
-            self.cur_nonempty = false;
-            self.cur_block_end = self.cur_block_end + self.block_len;
+            self.flush_block();
         }
     }
 
@@ -97,7 +146,7 @@ impl BlockMaxima {
             "block lengths must match to merge"
         );
         assert!(
-            !self.cur_nonempty && self.cur_max == 0.0,
+            !self.cur_nonempty && self.cur_max == 0.0 && self.cur_max_c == 0,
             "merge receiver must be closed at a block boundary \
              (call close_through first)"
         );
@@ -108,6 +157,8 @@ impl BlockMaxima {
         );
         self.maxima.extend_from_slice(&other.maxima);
         self.cur_max = other.cur_max;
+        self.cur_max_c = other.cur_max_c;
+        self.cur_hz = other.cur_hz;
         self.cur_nonempty = other.cur_nonempty;
         // Every push advances the block end by exactly one block from the
         // initial `block_len`, so `cur_block_end` is always
@@ -141,6 +192,8 @@ pub struct LatencySeries {
     pub blocks: BlockMaxima,
     /// What the series measures, for reports.
     pub name: String,
+    /// Clock rate cycle-domain samples are converted at.
+    cpu_hz: u64,
 }
 
 /// One simulated minute, the block-maxima granularity.
@@ -154,6 +207,7 @@ impl LatencySeries {
             hist: LatencyHistogram::fig4(),
             blocks: BlockMaxima::new(Cycles::from_ms_at(BLOCK_MINUTES * 60_000.0, cpu_hz)),
             name: name.to_string(),
+            cpu_hz,
         }
     }
 
@@ -161,6 +215,15 @@ impl LatencySeries {
     pub fn record(&mut self, now: Instant, ms: f64) {
         self.hist.record_ms(ms);
         self.blocks.record(now, ms);
+    }
+
+    /// Records one cycle-domain sample observed at `now`, at the clock rate
+    /// the series was created with. Integer binning plus a `u64` block-max
+    /// compare; summary statistics stay bit-identical to converting the
+    /// sample and calling [`Self::record`].
+    pub fn record_cycles(&mut self, now: Instant, c: Cycles) {
+        self.hist.record_cycles(c, self.cpu_hz);
+        self.blocks.record_cycles(now, c, self.cpu_hz);
     }
 
     /// Closes the block-maxima window after `whole_minutes` of collection
@@ -432,6 +495,50 @@ mod tests {
         let wc = worst_cases(&s, 100_000.0 / 3_600_000.0, 0.1, 0.8, 4.0);
         assert!(wc.hourly <= wc.daily + 1e-9);
         assert!(wc.daily <= wc.weekly + 1e-9);
+    }
+
+    #[test]
+    fn record_cycles_flushes_bit_identical_block_maxima() {
+        // A pure cycle-domain stream must produce exactly the maxima the ms
+        // path produces for the converted samples: max commutes with the
+        // monotone cycles->ms conversion.
+        let cpu = 300_000_000u64;
+        let block = Cycles(1_000_000);
+        let mut by_cycles = BlockMaxima::new(block);
+        let mut by_ms = BlockMaxima::new(block);
+        let mut c = 7u64;
+        for i in 0..50_000u64 {
+            // Deterministic scatter over several blocks, including zeros.
+            c = c.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let sample = if i % 97 == 0 { 0 } else { c % 5_000_000 };
+            let now = Instant(i * 137);
+            by_cycles.record_cycles(now, Cycles(sample), cpu);
+            by_ms.record(now, Cycles(sample).as_ms_at(cpu));
+        }
+        by_cycles.close_through(10);
+        by_ms.close_through(10);
+        assert_eq!(by_cycles.maxima().len(), by_ms.maxima().len());
+        for (a, b) in by_cycles.maxima().iter().zip(by_ms.maxima()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn series_record_cycles_merges_with_ms_shards() {
+        let cpu = 300_000_000u64;
+        let block = Cycles::from_ms_at(60_000.0, cpu);
+        let mut a = LatencySeries::new("t", cpu);
+        a.record_cycles(Instant(block.0 / 2), Cycles::from_ms_at(1.0, cpu));
+        a.close_blocks(1);
+        let mut b = LatencySeries::new("t", cpu);
+        b.record(Instant(block.0 / 2), 8.0);
+        b.close_blocks(1);
+        a.merge(&b);
+        assert_eq!(a.hist.count(), 2);
+        assert_eq!(a.hist.fast_bin_samples(), 1);
+        assert_eq!(a.blocks.maxima().len(), 2);
+        assert!((a.blocks.maxima()[0] - 1.0).abs() < 1e-9);
+        assert_eq!(a.blocks.maxima()[1], 8.0);
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Steady-state allocation audit for the measurement fast path.
+//!
+//! Companion to `wdm-sim/tests/alloc_steady_state.rs`, which pins the
+//! compiled step loop; this binary pins the *measurement* side of the
+//! cycle-domain fast path (DESIGN.md §12): once a [`LatencySeries`] has
+//! built its integer bin edges and grown its block-maxima vector to
+//! steady capacity, a record-heavy window — compiled sampler draws (exact
+//! and table mode) feeding `record_cycles` — must perform **zero** heap
+//! operations, sample for sample.
+//!
+//! The file holds a single `#[test]` on purpose: the counter is global, so
+//! a sibling test running concurrently would bleed its allocations into
+//! the measured window.
+
+use std::{
+    alloc::{GlobalAlloc, Layout, System},
+    sync::atomic::{AtomicU64, Ordering},
+};
+
+use rand::{rngs::StdRng, SeedableRng};
+use wdm_latency::worstcase::LatencySeries;
+use wdm_osmodel::dist::{Dist, SamplerMode};
+use wdm_sim::time::Instant;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static FREES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        FREES.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn heap_ops() -> u64 {
+    ALLOCS.load(Ordering::Relaxed) + FREES.load(Ordering::Relaxed)
+}
+
+const CPU_HZ: u64 = 300_000_000;
+/// One block-maxima block (one simulated minute) in cycles.
+const BLOCK: u64 = 60 * CPU_HZ;
+
+#[test]
+fn record_heavy_window_is_allocation_free() {
+    // A heavy-tailed mixture like the scenario distributions, compiled
+    // both ways: exact draws run the closed-form sampler, table draws run
+    // the quantile-table lerp. Both must be draw-time allocation-free.
+    let dist = Dist::Mixture(vec![
+        (
+            0.9,
+            Dist::LogNormal {
+                median: 0.02,
+                sigma: 0.8,
+                cap: 1.5,
+            },
+        ),
+        (
+            0.1,
+            Dist::LogNormal {
+                median: 0.35,
+                sigma: 0.95,
+                cap: 30.0,
+            },
+        ),
+    ]);
+    let exact = dist.compile(CPU_HZ, SamplerMode::Exact);
+    let table = dist.compile(CPU_HZ, SamplerMode::Table);
+    let mut series = LatencySeries::new("audit", CPU_HZ);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Warm-up: build the integer bin edges and close ~100 blocks so the
+    // maxima vector reaches steady capacity (the measured window closes
+    // far fewer blocks than the headroom doubling growth leaves behind).
+    let warm_samples = 1_600u64;
+    for i in 0..warm_samples {
+        let now = Instant(i * (100 * BLOCK / warm_samples));
+        series.record_cycles(now, exact.draw(&mut rng));
+        series.record_cycles(now, table.draw(&mut rng));
+    }
+    let warm_end = 100 * BLOCK;
+    assert!(
+        series.blocks.maxima().len() >= 90,
+        "warm-up must close ~100 blocks: {}",
+        series.blocks.maxima().len()
+    );
+
+    // Measured window: 200k draw+record pairs spanning ~20 more blocks.
+    let samples = 100_000u64;
+    let before = heap_ops();
+    for i in 0..samples {
+        let now = Instant(warm_end + i * (20 * BLOCK / samples));
+        series.record_cycles(now, exact.draw(&mut rng));
+        series.record_cycles(now, table.draw(&mut rng));
+    }
+    let ops = heap_ops() - before;
+    assert_eq!(
+        ops,
+        0,
+        "measurement steady state must not touch the heap ({ops} ops over {} records)",
+        2 * samples
+    );
+    assert_eq!(series.hist.fast_bin_samples(), 2 * (warm_samples + samples));
+    assert!(series.hist.count() == 2 * (warm_samples + samples));
+}

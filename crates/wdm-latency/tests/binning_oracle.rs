@@ -1,0 +1,128 @@
+//! Property oracle for integer cycle-domain binning (DESIGN.md §12).
+//!
+//! `LatencyHistogram::record_cycles` bins by comparing raw cycle counts
+//! against precomputed integer bin edges, where edge `i` is the smallest
+//! cycle count whose ms conversion exceeds the ms edge. The contract is
+//! that this is *observably identical* to converting each sample to ms and
+//! binning on the float axis: same bin counts, and bit-identical summary
+//! statistics (count, max, min, mean), because the summary path still runs
+//! the exact same `Cycles::as_ms_at` conversion per sample.
+//!
+//! These properties check that claim over random bin axes, random clock
+//! rates (including degenerate 1 Hz and saturating `u64::MAX` Hz), random
+//! cycle samples, and adversarial samples sitting exactly on (and one
+//! cycle either side of) every bin edge — plus a mid-stream clock-rate
+//! change, which forces the integer edges to rebuild.
+
+use proptest::prelude::*;
+
+use wdm_latency::histogram::LatencyHistogram;
+use wdm_sim::time::Cycles;
+
+/// Independent re-derivation of the integer edge rule: the smallest cycle
+/// count whose ms conversion at `cpu_hz` exceeds `edge_ms` (`None` if no
+/// representable count does). Deliberately re-implemented here rather than
+/// exported from the library so the oracle checks the rule, not the code.
+fn smallest_exceeding_cycle(edge_ms: f64, cpu_hz: u64) -> Option<u64> {
+    if Cycles(0).as_ms_at(cpu_hz) > edge_ms {
+        return Some(0);
+    }
+    if Cycles(u64::MAX).as_ms_at(cpu_hz) <= edge_ms {
+        return None;
+    }
+    let (mut lo, mut hi) = (0u64, u64::MAX);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if Cycles(mid).as_ms_at(cpu_hz) > edge_ms {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+/// Random strictly-increasing ms bin axes spanning ~8 decades.
+fn axes() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(1e-4f64..1e4, 1..12).prop_map(|mut v| {
+        v.sort_by(f64::total_cmp);
+        v.dedup();
+        v
+    })
+}
+
+/// Clock rates: the simulator's defaults, degenerate extremes, and
+/// arbitrary values in between.
+fn clock_rate() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(1u64),
+        Just(999u64),
+        Just(300_000_000u64),
+        Just(1_000_000_000u64),
+        Just(u64::MAX),
+        1u64..u64::MAX,
+    ]
+}
+
+/// Records every sample through both paths and asserts observable
+/// equality. The ms-path histogram receives exactly the conversion the
+/// cycle path uses for its summary statistics, so even `mean` must match
+/// to the bit (same values, same summation order).
+fn assert_paths_agree(edges: &[f64], samples: &[(u64, u64)]) {
+    let mut via_cycles = LatencyHistogram::with_edges(edges);
+    let mut via_ms = LatencyHistogram::with_edges(edges);
+    for &(c, hz) in samples {
+        via_cycles.record_cycles(Cycles(c), hz);
+        via_ms.record_ms(Cycles(c).as_ms_at(hz));
+    }
+    prop_assert_eq!(via_cycles.counts(), via_ms.counts());
+    prop_assert_eq!(via_cycles.count(), via_ms.count());
+    prop_assert_eq!(via_cycles.max_ms().to_bits(), via_ms.max_ms().to_bits());
+    prop_assert_eq!(via_cycles.min_ms().to_bits(), via_ms.min_ms().to_bits());
+    prop_assert_eq!(via_cycles.mean_ms().to_bits(), via_ms.mean_ms().to_bits());
+    // The fast-path counter tallies exactly the cycle-domain records.
+    prop_assert_eq!(via_cycles.fast_bin_samples(), samples.len() as u64);
+    prop_assert_eq!(via_ms.fast_bin_samples(), 0);
+}
+
+proptest! {
+    #[test]
+    fn cycle_binning_matches_ms_binning_on_random_axes(
+        edges in axes(),
+        cpu_hz in clock_rate(),
+        raw in prop::collection::vec(0u64..u64::MAX, 0..200),
+    ) {
+        // The raw draws, the domain extremes, and every edge's boundary
+        // neighborhood (the exact cycle where the bin flips, one below,
+        // one above).
+        let mut samples: Vec<(u64, u64)> =
+            raw.into_iter().map(|c| (c, cpu_hz)).collect();
+        samples.push((0, cpu_hz));
+        samples.push((u64::MAX, cpu_hz));
+        for &e in &edges {
+            if let Some(ce) = smallest_exceeding_cycle(e, cpu_hz) {
+                samples.push((ce.saturating_sub(1), cpu_hz));
+                samples.push((ce, cpu_hz));
+                samples.push((ce.saturating_add(1), cpu_hz));
+            }
+        }
+        assert_paths_agree(&edges, &samples);
+    }
+
+    #[test]
+    fn cycle_binning_survives_clock_rate_changes(
+        edges in axes(),
+        hz_a in clock_rate(),
+        hz_b in clock_rate(),
+        raw in prop::collection::vec(0u64..u64::MAX, 1..100),
+    ) {
+        // Alternate clock rates sample by sample: every flip forces the
+        // integer edge table to rebuild for the new rate.
+        let samples: Vec<(u64, u64)> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (c, if i % 2 == 0 { hz_a } else { hz_b }))
+            .collect();
+        assert_paths_agree(&edges, &samples);
+    }
+}

@@ -29,7 +29,7 @@ use wdm_sim::{
     time::Cycles,
 };
 
-use crate::dist::{poisson_arrivals, Dist};
+use crate::dist::{poisson_arrivals_mode, Dist, SamplerMode};
 
 /// Which operating system is simulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -280,27 +280,42 @@ impl OsPersonality {
     /// Installs the OS background activity, scaled by the workload factors.
     ///
     /// Returns the installed source ids (cli windows, then sections if any)
-    /// so callers can toggle them.
+    /// so callers can toggle them. Samplers compile in exact mode; use
+    /// [`OsPersonality::install_background_mode`] for the table fast path.
     pub fn install_background(&self, k: &mut Kernel, f: &LoadFactors) -> Vec<SourceId> {
+        self.install_background_mode(k, f, SamplerMode::Exact)
+    }
+
+    /// [`OsPersonality::install_background`] with an explicit sampler
+    /// compilation mode.
+    pub fn install_background_mode(
+        &self,
+        k: &mut Kernel,
+        f: &LoadFactors,
+        mode: SamplerMode,
+    ) -> Vec<SourceId> {
         let cpu = self.kernel.cpu_hz;
         let mut ids = Vec::new();
         let cli_rate = self.cli_rate_hz * f.cli_rate;
         if cli_rate > 0.0 {
             let label = k.intern(self.cli_module(), "_DisableInterrupts");
-            let duration = self.cli_duration.scaled(f.cli_scale).sampler(cpu);
+            let duration = self.cli_duration.scaled(f.cli_scale).sampler_mode(cpu, mode);
             ids.push(k.add_env_source(EnvSource::new(
                 "os-cli-windows",
-                poisson_arrivals(cli_rate, cpu),
+                poisson_arrivals_mode(cli_rate, cpu, mode),
                 EnvAction::Cli { duration, label },
             )));
         }
         let sect_rate = self.section_rate_hz * f.section_rate;
         if sect_rate > 0.0 {
             let label = k.intern("VMM", "_mmFindContig");
-            let duration = self.section_duration.scaled(f.section_scale).sampler(cpu);
+            let duration = self
+                .section_duration
+                .scaled(f.section_scale)
+                .sampler_mode(cpu, mode);
             ids.push(k.add_env_source(EnvSource::new(
                 "vmm-sections",
-                poisson_arrivals(sect_rate, cpu),
+                poisson_arrivals_mode(sect_rate, cpu, mode),
                 EnvAction::Section { duration, label },
             )));
         }

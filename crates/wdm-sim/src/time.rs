@@ -10,6 +10,43 @@
 /// Clock rate of the paper's test system: a 300 MHz Pentium II (Table 2).
 pub const DEFAULT_CPU_HZ: u64 = 300_000_000;
 
+/// Bit-identical replacement for `f64::round` (round half away from zero)
+/// that stays out of libm: the baseline x86-64 target lowers `.round()` to
+/// a `round@libm` call, which shows up in profiles because every sampler
+/// draw converts ms to cycles. Adding `2^52` forces a round-to-nearest-even
+/// at integer granularity; exact halves (the only place ties-to-even and
+/// ties-away disagree) are then corrected, and the `x - t` residual is
+/// exact by Sterbenz's lemma, so the correction test never misfires.
+#[inline]
+// The negated comparison is load-bearing: `!(|x| < 2^52)` is true for NaN
+// (any comparison with NaN is false), routing NaN through the early return;
+// clippy's suggested `>=` would send it into the shift arithmetic instead.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+fn round_ties_away(x: f64) -> f64 {
+    const SHIFT: f64 = 4_503_599_627_370_496.0; // 2^52
+    if !(x.abs() < SHIFT) {
+        // Already integral (spacing >= 1.0), or NaN/inf: round(x) == x.
+        return x;
+    }
+    if x > 0.0 {
+        let t = (x + SHIFT) - SHIFT;
+        if x - t == 0.5 {
+            t + 1.0
+        } else {
+            t
+        }
+    } else {
+        // Zeros and negatives. `copysign` restores the sign the shift trick
+        // loses when the result is zero: round(-0.3) is -0.0, not +0.0.
+        let t = (x - SHIFT) + SHIFT;
+        if x - t == -0.5 {
+            t - 1.0
+        } else {
+            t.copysign(x)
+        }
+    }
+}
+
 /// A duration measured in processor cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Cycles(pub u64);
@@ -23,13 +60,15 @@ impl Cycles {
     pub const ZERO: Cycles = Cycles(0);
 
     /// Builds a duration from milliseconds at a given clock rate.
+    #[inline]
     pub fn from_ms_at(ms: f64, hz: u64) -> Cycles {
-        Cycles((ms * hz as f64 / 1e3).round() as u64)
+        Cycles(round_ties_away(ms * hz as f64 / 1e3) as u64)
     }
 
     /// Builds a duration from microseconds at a given clock rate.
+    #[inline]
     pub fn from_us_at(us: f64, hz: u64) -> Cycles {
-        Cycles((us * hz as f64 / 1e6).round() as u64)
+        Cycles(round_ties_away(us * hz as f64 / 1e6) as u64)
     }
 
     /// Builds a duration from milliseconds at the default 300 MHz clock.
@@ -43,6 +82,7 @@ impl Cycles {
     }
 
     /// Converts to milliseconds at a given clock rate.
+    #[inline]
     pub fn as_ms_at(self, hz: u64) -> f64 {
         self.0 as f64 * 1e3 / hz as f64
     }
@@ -188,5 +228,61 @@ mod tests {
         assert_eq!(a.min(b), b);
         assert_eq!(b.saturating_sub(a), Cycles::ZERO);
         assert_eq!(a.saturating_sub(b), Cycles(6));
+    }
+
+    #[test]
+    fn round_ties_away_edge_cases() {
+        // The exact spots where ties-to-even and ties-away disagree, the
+        // largest double below 0.5 (where `floor(x + 0.5)` would be wrong),
+        // and the integral-spacing threshold.
+        for x in [
+            0.0,
+            -0.0,
+            0.3,
+            -0.3,
+            0.5,
+            1.5,
+            2.5,
+            -0.5,
+            -1.5,
+            -2.5,
+            0.49999999999999994,
+            -0.49999999999999994,
+            4_503_599_627_370_495.5,
+            4_503_599_627_370_496.0,
+            f64::MAX,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            assert_eq!(
+                round_ties_away(x).to_bits(),
+                x.round().to_bits(),
+                "mismatch at {x:e}"
+            );
+        }
+        assert!(round_ties_away(f64::NAN).is_nan());
+    }
+
+    mod round_props {
+        use super::super::round_ties_away;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn round_ties_away_matches_libm(
+                x in prop_oneof![
+                    -1e16f64..1e16,
+                    -100.0f64..100.0,
+                    // Integers and exact halves, where the correction
+                    // branch actually fires.
+                    (-(1i64 << 53)..(1i64 << 53)).prop_map(|k| k as f64 / 2.0),
+                ],
+            ) {
+                prop_assert_eq!(
+                    round_ties_away(x).to_bits(),
+                    x.round().to_bits()
+                );
+            }
+        }
     }
 }

@@ -2,33 +2,44 @@
 //!
 //! Device ISRs, device DPCs and application threads are small [`Program`]
 //! state machines whose busy durations are drawn from `wdm-osmodel`
-//! distributions at each activation.
+//! distributions at each activation. Distributions are lowered once at
+//! construction into [`CompiledSampler`]s so the per-activation draw does
+//! no distribution dispatch or unit conversion (DESIGN.md §12).
 
 use wdm_sim::{
     ids::{DpcId, Slot},
     labels::Label,
     step::{Program, Step, StepCtx},
-    time::Cycles,
 };
-use wdm_osmodel::dist::Dist;
+use wdm_osmodel::dist::{CompiledSampler, Dist, SamplerMode};
 
 /// A device interrupt service routine: a sampled busy chunk, then
 /// optionally queue the device's DPC (the WDM pattern: short ISR, deferred
 /// work).
 pub struct DeviceIsr {
-    dur: Dist,
-    cpu_hz: u64,
+    dur: CompiledSampler,
     label: Label,
     dpc: Option<DpcId>,
     phase: u8,
 }
 
 impl DeviceIsr {
-    /// Creates the ISR. `dur` is the in-ISR work in milliseconds.
+    /// Creates the ISR. `dur` is the in-ISR work in milliseconds,
+    /// compiled in exact mode.
     pub fn new(dur: Dist, cpu_hz: u64, label: Label, dpc: Option<DpcId>) -> DeviceIsr {
+        DeviceIsr::new_mode(dur, cpu_hz, SamplerMode::Exact, label, dpc)
+    }
+
+    /// Creates the ISR with an explicit sampler compilation mode.
+    pub fn new_mode(
+        dur: Dist,
+        cpu_hz: u64,
+        mode: SamplerMode,
+        label: Label,
+        dpc: Option<DpcId>,
+    ) -> DeviceIsr {
         DeviceIsr {
-            dur,
-            cpu_hz,
+            dur: dur.compile(cpu_hz, mode),
             label,
             dpc,
             phase: 0,
@@ -46,7 +57,7 @@ impl Program for DeviceIsr {
             0 => {
                 self.phase = 1;
                 Step::Busy {
-                    cycles: Cycles::from_ms_at(self.dur.sample(ctx.rng), self.cpu_hz),
+                    cycles: self.dur.draw(ctx.rng),
                     label: self.label,
                 }
             }
@@ -64,18 +75,22 @@ impl Program for DeviceIsr {
 
 /// A device DPC: one sampled busy chunk of deferred work.
 pub struct DeviceDpc {
-    dur: Dist,
-    cpu_hz: u64,
+    dur: CompiledSampler,
     label: Label,
     done: bool,
 }
 
 impl DeviceDpc {
-    /// Creates the DPC routine. `dur` is deferred work in milliseconds.
+    /// Creates the DPC routine. `dur` is deferred work in milliseconds,
+    /// compiled in exact mode.
     pub fn new(dur: Dist, cpu_hz: u64, label: Label) -> DeviceDpc {
+        DeviceDpc::new_mode(dur, cpu_hz, SamplerMode::Exact, label)
+    }
+
+    /// Creates the DPC routine with an explicit sampler compilation mode.
+    pub fn new_mode(dur: Dist, cpu_hz: u64, mode: SamplerMode, label: Label) -> DeviceDpc {
         DeviceDpc {
-            dur,
-            cpu_hz,
+            dur: dur.compile(cpu_hz, mode),
             label,
             done: false,
         }
@@ -93,7 +108,7 @@ impl Program for DeviceDpc {
         }
         self.done = true;
         Step::Busy {
-            cycles: Cycles::from_ms_at(self.dur.sample(ctx.rng), self.cpu_hz),
+            cycles: self.dur.draw(ctx.rng),
             label: self.label,
         }
     }
@@ -103,9 +118,8 @@ impl Program for DeviceDpc {
 /// (think time / I/O completion), counting completed operations in a
 /// blackboard slot — the throughput metric of §4.2.
 pub struct AppTask {
-    burst: Dist,
-    idle: Dist,
-    cpu_hz: u64,
+    burst: CompiledSampler,
+    idle: CompiledSampler,
     label: Label,
     ops_slot: Slot,
     phase: u8,
@@ -113,13 +127,24 @@ pub struct AppTask {
 
 impl AppTask {
     /// Creates the task. `burst` and `idle` are per-iteration CPU work and
-    /// wait time in milliseconds; each completed burst counts one op into
-    /// `ops_slot`.
+    /// wait time in milliseconds (compiled in exact mode); each completed
+    /// burst counts one op into `ops_slot`.
     pub fn new(burst: Dist, idle: Dist, cpu_hz: u64, label: Label, ops_slot: Slot) -> AppTask {
+        AppTask::new_mode(burst, idle, cpu_hz, SamplerMode::Exact, label, ops_slot)
+    }
+
+    /// Creates the task with an explicit sampler compilation mode.
+    pub fn new_mode(
+        burst: Dist,
+        idle: Dist,
+        cpu_hz: u64,
+        mode: SamplerMode,
+        label: Label,
+        ops_slot: Slot,
+    ) -> AppTask {
         AppTask {
-            burst,
-            idle,
-            cpu_hz,
+            burst: burst.compile(cpu_hz, mode),
+            idle: idle.compile(cpu_hz, mode),
             label,
             ops_slot,
             phase: 0,
@@ -133,7 +158,7 @@ impl Program for AppTask {
             0 => {
                 self.phase = 1;
                 Step::Busy {
-                    cycles: Cycles::from_ms_at(self.burst.sample(ctx.rng), self.cpu_hz),
+                    cycles: self.burst.draw(ctx.rng),
                     label: self.label,
                 }
             }
@@ -142,7 +167,7 @@ impl Program for AppTask {
                 // The burst finished: count the op, then rest.
                 let ops = ctx.board.read(self.ops_slot);
                 ctx.board.write(self.ops_slot, ops + 1);
-                Step::Sleep(Cycles::from_ms_at(self.idle.sample(ctx.rng), self.cpu_hz))
+                Step::Sleep(self.idle.draw(ctx.rng))
             }
         }
     }
