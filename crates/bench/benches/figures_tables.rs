@@ -17,6 +17,7 @@ fn quick() -> RunConfig {
         trace: false,
         compile: true,
         sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
+        batch_record: true,
     }
 }
 

@@ -73,6 +73,12 @@ pub struct RunConfig {
     /// lookups and is pinned by its own digest baseline
     /// (`artifacts/CELL_digests_table.txt`). See DESIGN.md §12.
     pub sampler_mode: SamplerMode,
+    /// Stage raw samples and fold them in batches (the default).
+    /// `repro --no-batch-record` clears it to run the per-sample reference
+    /// recording path; outputs are byte-identical either way (CI's
+    /// batch-smoke job asserts it against the committed digests). See
+    /// DESIGN.md §13.
+    pub batch_record: bool,
 }
 
 impl Default for RunConfig {
@@ -85,6 +91,7 @@ impl Default for RunConfig {
             trace: false,
             compile: true,
             sampler_mode: SamplerMode::Exact,
+            batch_record: true,
         }
     }
 }
@@ -102,6 +109,7 @@ impl RunConfig {
         };
         opts.scenario.compile = self.compile;
         opts.scenario.sampler_mode = self.sampler_mode;
+        opts.batch_record = self.batch_record;
         opts
     }
 }
@@ -260,6 +268,16 @@ pub struct CellTiming {
     /// `measure_events_per_sec` — the throughput of the cycle-domain
     /// measurement fast path (DESIGN.md §12).
     pub samples_recorded: u64,
+    /// Staging-buffer flushes across the cell's collectors (summed exactly
+    /// over shards via the `latency.batch_flushes` counter; 0 under
+    /// `--no-batch-record`). The timing artifact reports this and
+    /// `samples_recorded / batch_flushes` as `samples_per_flush`.
+    pub batch_flushes: u64,
+    /// Samples that went through the staging buffers (0 under
+    /// `--no-batch-record`; equals the staged subset of
+    /// `samples_recorded` otherwise). The timing artifact reports
+    /// `staged_samples / wall_s` as `staged_samples_per_sec`.
+    pub staged_samples: u64,
     /// Wall-clock seconds of each shard, time order (one entry on the
     /// unsharded path). The artifact reports these plus the max/mean
     /// imbalance so load-balance losses in the 8 x K fan-out are visible.
@@ -370,6 +388,8 @@ pub fn measure_all_timed(cfg: &RunConfig) -> TimedCells {
             // registry is the authoritative per-cell total.
             compiled_steps: m.metrics.counter_value("sim.compiled_steps").unwrap_or(0),
             samples_recorded: m.samples_recorded(),
+            batch_flushes: m.metrics.counter_value("latency.batch_flushes").unwrap_or(0),
+            staged_samples: m.metrics.counter_value("latency.staged_samples").unwrap_or(0),
             shard_wall_s,
         });
         match os {
@@ -459,6 +479,7 @@ mod tests {
             trace: false,
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
+            batch_record: true,
         };
         let m = measure_cell(&cfg, OsKind::Nt4, WorkloadKind::Web);
         // Every-tick series sees ~3k samples in 3 s; the per-round series
@@ -511,6 +532,7 @@ mod tests {
             trace: false,
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
+            batch_record: true,
         };
         // Sub-minute window: exactly one shard with the cell's own seed and
         // no block closing, i.e. the pre-shard harness.
@@ -530,6 +552,7 @@ mod tests {
             trace: false,
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
+            batch_record: true,
         };
         let specs = cell_shards(&cfg, OsKind::Nt4, WorkloadKind::Business);
         assert_eq!(specs.len(), 2);

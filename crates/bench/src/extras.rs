@@ -274,6 +274,7 @@ pub fn interactive(cfg: &RunConfig) -> String {
             hours * 3_600_000.0,
             scenario.kernel.config().cpu_hz,
         ));
+        probe.records.borrow_mut().flush_staged();
         let r = probe.records.borrow();
         (
             r.dispatch.hist.mean_ms(),
@@ -420,6 +421,7 @@ pub fn ablate_dpc_discipline(minutes: f64, seed: u64) -> String {
             ));
         }
         k.run_for(Cycles::from_ms(minutes * 60_000.0));
+        session.flush();
         let truth = session.truth.borrow();
         let s: &LatencySeries = &truth.dpcs[&session.rt28.dpc].lat;
         (s.hist.quantile_exceeding(0.001), s.hist.max_ms())
@@ -447,6 +449,7 @@ pub fn ablate_pit_frequency(minutes: f64, seed: u64) -> String {
         let mut k = Kernel::new(cfg);
         let session = MeasurementSession::install(&mut k, 1.0);
         k.run_for(Cycles::from_ms(minutes * 60_000.0));
+        session.flush();
         let r = session.rt28.results.borrow();
         (
             r.est_int_to_dpc.hist.mean_ms(),
@@ -485,6 +488,7 @@ pub fn ablate_quantum(minutes: f64, seed: u64) -> String {
             wdm_osmodel::Dist::Uniform { lo: 0.5, hi: 6.0 },
         );
         k.run_for(Cycles::from_ms(hours * 3_600_000.0));
+        session.flush();
         let truth = session.truth.borrow();
         truth.threads[&session.rt24.thread].lat
             .hist
@@ -522,6 +526,7 @@ pub fn ablate_tail_family(minutes: f64, seed: u64) -> String {
             },
         ));
         k.run_for(Cycles::from_ms(minutes * 60_000.0));
+        session.flush();
         let truth = session.truth.borrow();
         let h = &truth.threads[&session.rt28.thread].lat.hist;
         format!(
@@ -586,6 +591,7 @@ mod tests {
             trace: false,
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
+        batch_record: true,
         };
         let cells = measure_all(&cfg);
         let t = throughput(&cells);

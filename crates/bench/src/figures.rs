@@ -223,6 +223,7 @@ mod tests {
             trace: false,
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
+            batch_record: true,
         }
     }
 

@@ -29,7 +29,7 @@ use wdm_bench::{
 };
 use wdm_osmodel::dist::SamplerMode;
 
-const USAGE: &str = "usage: repro <artifact> [--minutes N | --full] [--seed S] [--threads T] [--shards K] [--out DIR] [--trace] [--no-compile] [--sampler-mode exact|table] [--repeats R] [--quiet | --verbose]
+const USAGE: &str = "usage: repro <artifact> [--minutes N | --full] [--seed S] [--threads T] [--shards K] [--out DIR] [--trace] [--no-compile] [--no-batch-record] [--sampler-mode exact|table] [--repeats R] [--quiet | --verbose]
 
 artifacts:
   table1 table2 table3 table4 figure4 figure5 figure6 figure7
@@ -47,6 +47,9 @@ options:
                 the 'trace' artifact implies this and writes TRACE_*.json)
   --no-compile  run programs through the step interpreter instead of the
                 compiled instruction streams (output byte-identical)
+  --no-batch-record
+                record each latency sample straight into its series instead
+                of staging and batch-folding (output byte-identical)
   --sampler-mode exact|table
                 how distribution draws are lowered: 'exact' (default) is
                 bit-identical to the interpreted samplers; 'table' uses
@@ -92,6 +95,7 @@ fn main() {
     let mut shards = 1usize;
     let mut trace = false;
     let mut compile = true;
+    let mut batch_record = true;
     let mut sampler_mode = SamplerMode::Exact;
     let mut repeats: Option<usize> = None;
     let mut out_dir: Option<std::path::PathBuf> = None;
@@ -117,6 +121,7 @@ fn main() {
             }
             "--trace" => trace = true,
             "--no-compile" => compile = false,
+            "--no-batch-record" => batch_record = false,
             "--repeats" => {
                 let r: usize = flag_value(&args, &mut i, "--repeats");
                 if r < 1 {
@@ -177,6 +182,7 @@ fn main() {
         trace,
         compile,
         sampler_mode,
+        batch_record,
     };
     let minutes = match duration {
         Duration::Minutes(m) => m,

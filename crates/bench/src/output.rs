@@ -128,6 +128,7 @@ mod tests {
             trace: false,
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
+        batch_record: true,
         };
         let cells = measure_all(&cfg);
         let dir = std::env::temp_dir().join("wdm_repro_tsv_test");

@@ -161,6 +161,7 @@ mod tests {
             trace: false,
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
+            batch_record: true,
         }
     }
 
@@ -194,6 +195,7 @@ mod tests {
             trace: false,
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
+        batch_record: true,
         };
         let t = table4(&cfg);
         assert!(t.contains("episodes captured"));

@@ -65,6 +65,25 @@ impl TimingReport {
         samples as f64 / self.serial.total_wall_s.max(1e-9)
     }
 
+    /// Staging-buffer flushes across the serial run's cells (0 with
+    /// batched recording off).
+    pub fn batch_flushes(&self) -> u64 {
+        self.serial.timings.iter().map(|t| t.batch_flushes).sum()
+    }
+
+    /// Mean staged samples folded per flush across the serial run.
+    pub fn samples_per_flush(&self) -> f64 {
+        let staged: u64 = self.serial.timings.iter().map(|t| t.staged_samples).sum();
+        staged as f64 / self.batch_flushes().max(1) as f64
+    }
+
+    /// Staged samples per serial wall-clock second: the rate raw triples
+    /// move through the SoA staging buffers (DESIGN.md §13).
+    pub fn staged_samples_per_sec(&self) -> f64 {
+        let staged: u64 = self.serial.timings.iter().map(|t| t.staged_samples).sum();
+        staged as f64 / self.serial.total_wall_s.max(1e-9)
+    }
+
     /// Grid-wide fan-out balance: max/mean over every shard wall of the
     /// parallel run (1.0 = perfectly balanced 8 x K job list).
     pub fn grid_imbalance(&self) -> f64 {
@@ -166,6 +185,7 @@ pub fn run(cfg: &RunConfig, repeats_override: Option<usize>) -> TimingReport {
     let table = best_timed(
         &RunConfig {
             sampler_mode: SamplerMode::Table,
+            batch_record: true,
             ..*cfg
         },
         1,
@@ -228,7 +248,10 @@ pub fn render_json(cfg: &RunConfig, r: &TimingReport) -> String {
         // are the serial cell's latency-sample count and rate through the
         // cycle-domain measurement fast path (DESIGN.md §12);
         // `table_events_per_sec` is the same cell's serial simulator rate
-        // under `--sampler-mode table`.
+        // under `--sampler-mode table`. `batch_flushes` /
+        // `samples_per_flush` / `staged_samples_per_sec` describe the
+        // serial cell's SoA staging traffic (DESIGN.md §13; zeros under
+        // `--no-batch-record`).
         let shard_walls = t
             .shard_wall_s
             .iter()
@@ -244,6 +267,8 @@ pub fn render_json(cfg: &RunConfig, r: &TimingReport) -> String {
              \"serial_events_per_sec\": {}, \"interpreted_events_per_sec\": {}, \
              \"table_events_per_sec\": {}, \
              \"samples_recorded\": {}, \"measure_events_per_sec\": {}, \
+             \"batch_flushes\": {}, \"samples_per_flush\": {}, \
+             \"staged_samples_per_sec\": {}, \
              \"speedup\": {}}}",
             json_str(t.os.name()),
             json_str(t.workload.name()),
@@ -261,6 +286,9 @@ pub fn render_json(cfg: &RunConfig, r: &TimingReport) -> String {
             json_f64(b.sim_events as f64 / b.wall_s.max(1e-9)),
             s.samples_recorded,
             json_f64(s.samples_recorded as f64 / s.wall_s.max(1e-9)),
+            s.batch_flushes,
+            json_f64(s.staged_samples as f64 / s.batch_flushes.max(1) as f64),
+            json_f64(s.staged_samples as f64 / s.wall_s.max(1e-9)),
             json_f64(s.wall_s / t.wall_s.max(1e-9))
         ));
     }
@@ -284,6 +312,8 @@ pub fn render_json(cfg: &RunConfig, r: &TimingReport) -> String {
          \"interpreted_serial_events_per_sec\": {},\n  \
          \"table_serial_events_per_sec\": {},\n  \
          \"samples_recorded\": {},\n  \"measure_events_per_sec\": {},\n  \
+         \"batch_flushes\": {},\n  \"samples_per_flush\": {},\n  \
+         \"staged_samples_per_sec\": {},\n  \
          \"batch_steps_per_dispatch\": {},\n  \
          \"compile_steps_per_dispatch\": {},\n  \
          \"cells\": [\n{}\n  ]\n}}\n",
@@ -311,6 +341,9 @@ pub fn render_json(cfg: &RunConfig, r: &TimingReport) -> String {
         json_f64(table_events as f64 / r.table.total_wall_s.max(1e-9)),
         total_samples,
         json_f64(r.measure_events_per_sec()),
+        r.batch_flushes(),
+        json_f64(r.samples_per_flush()),
+        json_f64(r.staged_samples_per_sec()),
         json_f64(total_steps as f64 / total_dispatches.max(1) as f64),
         json_f64(total_compiled as f64 / total_dispatches.max(1) as f64),
         cells
@@ -325,7 +358,7 @@ pub fn render_summary(r: &TimingReport) -> String {
          vs {} threads {:.2} s ({:.2}x speedup, shard imbalance {:.2}) \
          vs interpreted serial {:.2} s ({:.2}x from compilation) \
          vs table serial {:.2} s ({:.2}x from table sampling), \
-         measure path {:.0} samples/s, outputs {}\n\n",
+         measure path {:.0} samples/s ({:.0} staged/flush), outputs {}\n\n",
         total_jobs,
         r.repeats,
         r.serial.total_wall_s,
@@ -338,6 +371,7 @@ pub fn render_summary(r: &TimingReport) -> String {
         r.table.total_wall_s,
         r.table_speedup(),
         r.measure_events_per_sec(),
+        r.samples_per_flush(),
         if r.identical {
             "identical"
         } else {
@@ -421,6 +455,7 @@ mod tests {
             trace: false,
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
+        batch_record: true,
         };
         let r = run(&cfg, None);
         assert!(
@@ -473,13 +508,35 @@ mod tests {
         assert_eq!(json.matches("\"table_speedup\":").count(), 1);
         assert_eq!(json.matches("\"samples_recorded\":").count(), 8 + 1);
         assert_eq!(json.matches("\"measure_events_per_sec\":").count(), 8 + 1);
-        // Every serial cell records samples through the fast path.
+        // Staging traffic: per-cell entries plus one grid aggregate each.
+        assert_eq!(json.matches("\"batch_flushes\":").count(), 8 + 1);
+        assert_eq!(json.matches("\"samples_per_flush\":").count(), 8 + 1);
+        assert_eq!(json.matches("\"staged_samples_per_sec\":").count(), 8 + 1);
+        // Every serial cell records samples through the fast path, stages
+        // them all, and drains them in at least one (final) flush.
         for s in &r.serial.timings {
             assert!(
                 s.samples_recorded > 0,
                 "{} / {} cell recorded no latency samples",
                 s.os.name(),
                 s.workload.name()
+            );
+            assert!(
+                s.batch_flushes > 0,
+                "{} / {} cell never flushed its stage",
+                s.os.name(),
+                s.workload.name()
+            );
+            // Every counted series is fed through a stage, and the stages
+            // also feed series the measurement does not keep (the RT-24
+            // tool's results), so staged >= recorded.
+            assert!(
+                s.staged_samples >= s.samples_recorded,
+                "{} / {} cell recorded samples outside the stage: {} staged, {} recorded",
+                s.os.name(),
+                s.workload.name(),
+                s.staged_samples,
+                s.samples_recorded
             );
         }
         // Batching must actually engage: every cell executes more than one
@@ -517,6 +574,7 @@ mod tests {
         assert!(text.contains("interp ev/s"));
         assert!(text.contains("table ev/s"));
         assert!(text.contains("samples/s"));
+        assert!(text.contains("staged/flush"));
         assert!(text.contains("steps/disp"));
         assert!(text.contains("comp/disp"));
     }

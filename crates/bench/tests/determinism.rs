@@ -18,6 +18,7 @@ fn grid_digests_at(minutes: f64, seed: u64, threads: usize, shards: usize) -> Ve
         trace: false,
         compile: true,
         sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
+        batch_record: true,
     };
     let t = measure_all_timed(&cfg);
     assert_eq!(t.cells.nt.len(), 4, "NT cells in workload order");
@@ -79,6 +80,7 @@ fn tracing_leaves_the_grid_bit_identical() {
         trace: false,
         compile: true,
         sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
+        batch_record: true,
     };
     let traced_cfg = RunConfig { trace: true, ..base };
     let plain = measure_all_timed(&base);
@@ -131,6 +133,7 @@ fn shard_count_changes_the_stream_but_not_the_window() {
         trace: false,
         compile: true,
         sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
+        batch_record: true,
     };
     let sharded = RunConfig {
         shards: 2,
@@ -315,6 +318,7 @@ fn digests_are_sensitive_to_the_seed() {
         trace: false,
         compile: true,
         sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
+        batch_record: true,
     };
     let t = measure_all_timed(&cfg);
     let b: Vec<String> = t

@@ -206,6 +206,49 @@ impl LatencyHistogram {
         self.fast_bin_samples += 1;
     }
 
+    /// Folds a dense batch of cycle samples recorded at one clock rate, in
+    /// stream order. Bit-identical to calling [`Self::record_cycles`] once
+    /// per element: the rate check and binade table lookup setup are
+    /// hoisted out of the loop, the extremes run as register-resident
+    /// `u64`s, and `sum_ms` accumulates the per-sample ms conversions in
+    /// the exact same order (float addition is order-sensitive and the
+    /// resulting bits are digest-pinned; see DESIGN.md §13).
+    pub fn record_cycles_batch(&mut self, cycles: &[u64], cpu_hz: u64) {
+        if cycles.is_empty() {
+            return;
+        }
+        if self.cycles_hz != cpu_hz {
+            self.fold_cycle_extremes();
+            self.build_cycle_edges(cpu_hz);
+        }
+        let mut max_c = self.max_c;
+        let mut min_c = self.min_c;
+        let mut sum_ms = self.sum_ms;
+        for &c in cycles {
+            let b = (64 - c.leading_zeros()) as usize;
+            let lo = self.binade_start[b] as usize;
+            let hi = self.binade_start[b + 1] as usize;
+            let mut idx = lo;
+            for &ce in &self.edges_cycles[lo..hi] {
+                idx += usize::from(ce <= c);
+            }
+            self.counts[idx] += 1;
+            sum_ms += Cycles(c).as_ms_at(cpu_hz);
+            if c > max_c {
+                max_c = c;
+            }
+            if c < min_c {
+                min_c = c;
+            }
+        }
+        self.sum_ms = sum_ms;
+        self.max_c = max_c;
+        self.min_c = min_c;
+        self.count += cycles.len() as u64;
+        self.fast_bin_samples += cycles.len() as u64;
+        self.cyc_pending = true;
+    }
+
     /// Folds the pending cycle-domain extremes into the ms fields at the
     /// rate they were recorded under, and resets them to their identities.
     /// Idempotent; a no-op when nothing is pending (in particular before

@@ -27,14 +27,30 @@ use wdm_sim::{
     time::Cycles,
 };
 
-use crate::worstcase::LatencySeries;
+use crate::{stage::SampleStage, worstcase::LatencySeries};
 
 /// The interactive-latency recorder.
 pub struct InteractiveRecords {
     ui_thread: ThreadId,
-    cpu_hz: u64,
     /// Input-event signal to first UI-thread instruction.
     pub dispatch: LatencySeries,
+    /// Raw-sample staging (DESIGN.md §13); sid 0 is `dispatch`.
+    stage: SampleStage,
+    /// Batched recording on (the default); off is the per-sample path.
+    batch: bool,
+}
+
+impl InteractiveRecords {
+    /// Drains the staged samples into `dispatch`. Idempotent; call after
+    /// running, before reading the series.
+    pub fn flush_staged(&mut self) {
+        if self.stage.is_empty() {
+            return;
+        }
+        self.stage.partition();
+        self.stage.fold_into(0, &mut self.dispatch);
+        self.stage.reset();
+    }
 }
 
 impl Observer for InteractiveRecords {
@@ -46,8 +62,15 @@ impl Observer for InteractiveRecords {
         if e.thread != self.ui_thread {
             return;
         }
-        let v = (e.started - e.readied).as_ms_at(self.cpu_hz);
-        self.dispatch.record(e.started, v);
+        // Cycle-domain end to end: the sample never round-trips through ms
+        // (the histogram re-derives cycles internally; DESIGN.md §12).
+        if self.batch {
+            if self.stage.push(0, e.started, e.started - e.readied) {
+                self.flush_staged();
+            }
+        } else {
+            self.dispatch.record_cycles(e.started, e.started - e.readied);
+        }
     }
 }
 
@@ -131,10 +154,13 @@ impl InteractiveProbe {
                 phase: 0,
             }),
         );
+        let mut stage = SampleStage::new(60 * cpu);
+        stage.register_series(1);
         let records = Rc::new(RefCell::new(InteractiveRecords {
             ui_thread,
-            cpu_hz: cpu,
             dispatch: LatencySeries::new("interactive dispatch", cpu),
+            stage,
+            batch: true,
         }));
         k.add_observer(records.clone());
         InteractiveProbe { records, ui_thread }
@@ -155,6 +181,7 @@ mod tests {
         p.install_background(&mut k, &wdm_osmodel::LoadFactors::idle());
         let probe = InteractiveProbe::install(&mut k, 10.0);
         k.run_for(Cycles::from_ms_at(20_000.0, k.config().cpu_hz));
+        probe.records.borrow_mut().flush_staged();
         let r = probe.records.borrow();
         (
             r.dispatch.hist.count(),

@@ -48,7 +48,6 @@ impl core::fmt::Display for PortabilityError {
 pub struct LegacyRecords {
     pit_vector: VectorId,
     dpc: DpcId,
-    cpu_hz: u64,
     last_pit: Option<(Instant, Instant)>,
     /// Hardware interrupt to timer ISR (true interrupt latency — the
     /// measurement NT cannot make without source access).
@@ -69,20 +68,20 @@ impl Observer for LegacyRecords {
             return;
         }
         self.last_pit = Some((e.asserted, e.started));
-        let v = (e.started - e.asserted).as_ms_at(self.cpu_hz);
-        self.int_latency.record(e.started, v);
+        // Cycle-domain end to end: no cycles -> ms -> cycles round trip
+        // (the series re-derives ms lazily; DESIGN.md §12).
+        self.int_latency.record_cycles(e.started, e.started - e.asserted);
     }
 
     fn on_dpc_start(&mut self, e: &DpcStart) {
         if e.dpc != self.dpc {
             return;
         }
-        let v = (e.started - e.queued).as_ms_at(self.cpu_hz);
-        self.dpc_latency.record(e.started, v);
+        self.dpc_latency.record_cycles(e.started, e.started - e.queued);
         if let Some((asserted, _)) = self.last_pit {
             if asserted <= e.queued {
-                let v = (e.started - asserted).as_ms_at(self.cpu_hz);
-                self.dpc_int_latency.record(e.started, v);
+                self.dpc_int_latency
+                    .record_cycles(e.started, e.started - asserted);
             }
         }
     }
@@ -155,7 +154,6 @@ impl LegacyWin9xTool {
         let records = Rc::new(RefCell::new(LegacyRecords {
             pit_vector: k.pit_vector(),
             dpc,
-            cpu_hz,
             last_pit: None,
             int_latency: LatencySeries::new("legacy: interrupt latency", cpu_hz),
             dpc_latency: LatencySeries::new("legacy: DPC latency", cpu_hz),

@@ -28,6 +28,7 @@ pub mod microbench;
 pub mod profiler;
 pub mod report;
 pub mod session;
+pub mod stage;
 pub mod tool;
 pub mod worstcase;
 
@@ -38,5 +39,6 @@ pub use microbench::{render_comparison, run_microbench, Microbench};
 pub use profiler::Profiler;
 pub use histogram::LatencyHistogram;
 pub use session::{measure_scenario, ScenarioMeasurement};
+pub use stage::SampleStage;
 pub use tool::{LatencyTool, MeasurementSession, ToolResults, TruthCollector};
 pub use worstcase::{worst_cases, LatencySeries, WorstCases};

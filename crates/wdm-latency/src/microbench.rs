@@ -78,6 +78,7 @@ pub fn run_microbench(os: OsKind, seed: u64) -> Microbench {
     let mut k = personality.build_kernel(seed ^ 0xB16B00B5);
     let session = MeasurementSession::install(&mut k, 1.0);
     k.run_for(Cycles::from_ms_at(5_000.0, k.config().cpu_hz));
+    session.flush();
     let truth = session.truth.borrow();
     let us = |ms: f64| ms * 1000.0;
     Microbench {

@@ -12,8 +12,6 @@
 //! samples *inside* interrupt-disabled windows — which the PIT-based hook
 //! of §2.3 structurally cannot do.
 
-use std::collections::HashMap;
-
 use wdm_sim::{
     env::{samplers, EnvAction, EnvSource},
     ids::VectorId,
@@ -25,13 +23,25 @@ use wdm_sim::{
     time::Cycles,
 };
 
+/// Labels staged between flushes: one cache line's worth of page-sized
+/// batches keeps the hot hook to a bounds check and a push.
+const LABEL_STAGE_CAPACITY: usize = 1024;
+
 /// A flat execution profile: samples per interrupted label.
+///
+/// The sampling hook stages raw label ids and the flush drains them into a
+/// dense `Vec<u64>` indexed by label id — labels are interned small dense
+/// integers, so the profile needs neither hashing per sample nor a map
+/// walk per report. Sample counts are pure sums, so staging commutes:
+/// the flushed profile is identical to counting per sample.
 pub struct Profiler {
     vector: VectorId,
-    /// Samples per label.
-    pub counts: HashMap<Label, u64>,
+    /// Staged interrupted-label ids, drained at capacity and on read.
+    staged: Vec<u32>,
+    /// Samples per label id (dense; label ids index directly).
+    counts: Vec<u64>,
     /// Total samples taken.
-    pub total: u64,
+    total: u64,
 }
 
 impl Profiler {
@@ -59,7 +69,8 @@ impl Profiler {
         ));
         Profiler {
             vector,
-            counts: HashMap::new(),
+            staged: Vec::with_capacity(LABEL_STAGE_CAPACITY),
+            counts: Vec::new(),
             total: 0,
         }
     }
@@ -69,16 +80,53 @@ impl Profiler {
         self.vector
     }
 
+    /// Drains the staged labels into the dense counts. Idempotent;
+    /// [`Self::top`] and [`Self::render`] call it themselves, and
+    /// [`Self::total`]/[`Self::count_of`] read through the stage.
+    pub fn flush_staged(&mut self) {
+        for &l in &self.staged {
+            let i = l as usize;
+            if i >= self.counts.len() {
+                // A label above every id seen so far: grow once (labels are
+                // interned at build time, so growth never recurs in steady
+                // state).
+                self.counts.resize(i + 1, 0);
+            }
+            self.counts[i] += 1;
+        }
+        self.total += self.staged.len() as u64;
+        self.staged.clear();
+    }
+
+    /// Total samples taken.
+    pub fn total(&self) -> u64 {
+        self.total + self.staged.len() as u64
+    }
+
+    /// Samples attributed to one label.
+    pub fn count_of(&self, l: Label) -> u64 {
+        let flushed = self.counts.get(l.0 as usize).copied().unwrap_or(0);
+        flushed + self.staged.iter().filter(|&&s| s == l.0).count() as u64
+    }
+
     /// The top `n` labels by sample count, descending.
-    pub fn top(&self, n: usize) -> Vec<(Label, u64)> {
-        let mut v: Vec<(Label, u64)> = self.counts.iter().map(|(&l, &c)| (l, c)).collect();
+    pub fn top(&mut self, n: usize) -> Vec<(Label, u64)> {
+        self.flush_staged();
+        let mut v: Vec<(Label, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (Label(i as u32), c))
+            .collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(n);
         v
     }
 
     /// Renders a flat profile report with call chains.
-    pub fn render(&self, symbols: &SymbolTable, n: usize) -> String {
+    pub fn render(&mut self, symbols: &SymbolTable, n: usize) -> String {
+        self.flush_staged();
         let mut out = format!("Flat profile ({} samples):\n", self.total);
         for (label, count) in self.top(n) {
             out += &format!(
@@ -100,8 +148,10 @@ impl Observer for Profiler {
         if e.vector != self.vector {
             return;
         }
-        *self.counts.entry(e.interrupted_label).or_insert(0) += 1;
-        self.total += 1;
+        self.staged.push(e.interrupted_label.0);
+        if self.staged.len() >= LABEL_STAGE_CAPACITY {
+            self.flush_staged();
+        }
     }
 }
 
@@ -126,15 +176,15 @@ mod tests {
         let prof = Rc::new(RefCell::new(Profiler::install(&mut k, 8_000)));
         k.add_observer(prof.clone());
         k.run_for(Cycles::from_ms(200.0));
-        let prof = prof.borrow();
+        let mut prof = prof.borrow_mut();
         assert!(
-            prof.total > 1_000,
+            prof.total() > 1_000,
             "8 kHz over 200 ms should take ~1600 samples: {}",
-            prof.total
+            prof.total()
         );
         let top = prof.top(3);
         assert_eq!(top[0].0, spin, "the hot loop must dominate the profile");
-        let share = top[0].1 as f64 / prof.total as f64;
+        let share = top[0].1 as f64 / prof.total() as f64;
         assert!(share > 0.8, "hot loop share: {share}");
         let report = prof.render(k.symbols(), 5);
         assert!(report.contains("APP!_HotLoop"));
@@ -158,12 +208,12 @@ mod tests {
         k.add_observer(prof.clone());
         k.run_for(Cycles::from_ms(100.0));
         let prof = prof.borrow();
-        let cli_samples = prof.counts.get(&cli_label).copied().unwrap_or(0);
+        let cli_samples = prof.count_of(cli_label);
         // Cli windows cover ~75% of time; the NMI must see them.
         assert!(
-            cli_samples as f64 / prof.total as f64 > 0.5,
+            cli_samples as f64 / prof.total() as f64 > 0.5,
             "NMI should sample inside cli windows: {cli_samples}/{}",
-            prof.total
+            prof.total()
         );
     }
 

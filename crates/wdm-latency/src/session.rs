@@ -202,6 +202,10 @@ pub struct MeasureOptions {
     /// in [`ScenarioMeasurement::trace_events`]. Never changes measured
     /// values: the recorder is read-only and draws no randomness.
     pub flight: Option<FlightOptions>,
+    /// Batched series recording (DESIGN.md §13), on by default. Off
+    /// (`--no-batch-record`) folds every sample per-record — the reference
+    /// path. Output is bit-identical either way.
+    pub batch_record: bool,
 }
 
 impl Default for MeasureOptions {
@@ -211,6 +215,7 @@ impl Default for MeasureOptions {
             period_ms: 1.0,
             cause_threshold_ms: None,
             flight: None,
+            batch_record: true,
         }
     }
 }
@@ -225,7 +230,8 @@ pub fn measure_scenario(
 ) -> ScenarioMeasurement {
     assert!(sim_hours > 0.0, "must simulate a positive duration");
     let mut scenario = build_scenario(os, workload, seed, &opts.scenario);
-    let session = MeasurementSession::install(&mut scenario.kernel, opts.period_ms);
+    let session =
+        MeasurementSession::install_with(&mut scenario.kernel, opts.period_ms, opts.batch_record);
     let cause = opts.cause_threshold_ms.map(|thr| {
         let t = Rc::new(RefCell::new(CauseTool::new(
             &scenario.kernel,
@@ -248,6 +254,12 @@ pub fn measure_scenario(
             sim_hours * 3_600_000.0,
             scenario.kernel.config().cpu_hz,
         ));
+
+    // Drain the staging buffers before any series is read or moved: the
+    // final (partial) batch folds here, the last flush point of §13.
+    session.flush();
+    let batch_flushes = session.batch_flushes();
+    let staged_samples = session.staged_samples();
 
     // Move the collected series out of the session rather than cloning:
     // hours-long cells hold millions of histogram bins and block maxima per
@@ -329,6 +341,11 @@ pub fn measure_scenario(
     // observability hook for the measurement fast path (ISSUE 7).
     let fast_bin = m.fast_bin_samples();
     m.metrics.counter("latency.fast_bin_samples", fast_bin);
+    // Stage flushes ride the registry so shard merges sum them exactly,
+    // like every other counter (the bench surfaces `batch_flushes` and
+    // `samples_per_flush` from this).
+    m.metrics.counter("latency.batch_flushes", batch_flushes);
+    m.metrics.counter("latency.staged_samples", staged_samples);
     let hists = [
         ("latency.hist.int_to_isr_ms", &m.int_to_isr),
         ("latency.hist.dpc_lat_ms", &m.dpc_lat),

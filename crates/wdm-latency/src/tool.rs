@@ -36,7 +36,7 @@ use wdm_sim::{
     time::{Cycles, Instant},
 };
 
-use crate::worstcase::LatencySeries;
+use crate::{stage::SampleStage, worstcase::LatencySeries};
 
 /// Latencies computed by the control application from the system buffer,
 /// exactly as the paper's tool reports them.
@@ -51,16 +51,49 @@ pub struct ToolResults {
     pub est_int_to_thread: LatencySeries,
     /// Measurement rounds completed.
     pub rounds: u64,
+    /// Raw-sample staging (DESIGN.md §13); sids 0..3 map to the three
+    /// series above in declaration order.
+    stage: SampleStage,
+    /// Batched recording on (the default). Off = the per-sample reference
+    /// path (`--no-batch-record`); bit-identical output either way.
+    batch: bool,
 }
 
 impl ToolResults {
-    fn new(name: &str, cpu_hz: u64) -> ToolResults {
+    fn new(name: &str, cpu_hz: u64, batch: bool) -> ToolResults {
+        let mut stage = SampleStage::new(60 * cpu_hz);
+        stage.register_series(3);
         ToolResults {
             dpc_to_thread: LatencySeries::new(&format!("{name}: DPC->thread"), cpu_hz),
             est_int_to_dpc: LatencySeries::new(&format!("{name}: est int->DPC"), cpu_hz),
             est_int_to_thread: LatencySeries::new(&format!("{name}: est int->thread"), cpu_hz),
             rounds: 0,
+            stage,
+            batch,
         }
+    }
+
+    /// Drains every staged sample into its series. Idempotent; must run
+    /// before any series is read (the session flushes at measurement end).
+    pub fn flush_staged(&mut self) {
+        if self.stage.is_empty() {
+            return;
+        }
+        self.stage.partition();
+        self.stage.fold_into(0, &mut self.dpc_to_thread);
+        self.stage.fold_into(1, &mut self.est_int_to_dpc);
+        self.stage.fold_into(2, &mut self.est_int_to_thread);
+        self.stage.reset();
+    }
+
+    /// Completed stage flushes (bench accounting).
+    pub fn batch_flushes(&self) -> u64 {
+        self.stage.batch_flushes()
+    }
+
+    /// Samples that went through the stage (bench accounting).
+    pub fn staged_samples(&self) -> u64 {
+        self.stage.staged_samples()
     }
 }
 
@@ -140,14 +173,25 @@ impl Program for ControlApp {
                 let est_expiry = t0 + self.delay.0;
                 let mut r = self.results.borrow_mut();
                 r.rounds += 1;
-                // Timestamps are TSC cycle counts; record them directly so
-                // binning stays in the integer domain (DESIGN.md §12).
-                r.dpc_to_thread
-                    .record_cycles(ctx.now, Cycles(t2.saturating_sub(t1)));
-                r.est_int_to_dpc
-                    .record_cycles(ctx.now, Cycles(t1.saturating_sub(est_expiry)));
-                r.est_int_to_thread
-                    .record_cycles(ctx.now, Cycles(t2.saturating_sub(est_expiry)));
+                // Timestamps are TSC cycle counts; they stay in the integer
+                // domain end to end (DESIGN.md §12). The batched path stages
+                // raw triples and folds at flush time (§13); the reference
+                // path folds per sample. Identical digests either way.
+                if r.batch {
+                    let full = r.stage.push(0, ctx.now, Cycles(t2.saturating_sub(t1)))
+                        | r.stage.push(1, ctx.now, Cycles(t1.saturating_sub(est_expiry)))
+                        | r.stage.push(2, ctx.now, Cycles(t2.saturating_sub(est_expiry)));
+                    if full {
+                        r.flush_staged();
+                    }
+                } else {
+                    r.dpc_to_thread
+                        .record_cycles(ctx.now, Cycles(t2.saturating_sub(t1)));
+                    r.est_int_to_dpc
+                        .record_cycles(ctx.now, Cycles(t1.saturating_sub(est_expiry)));
+                    r.est_int_to_thread
+                        .record_cycles(ctx.now, Cycles(t2.saturating_sub(est_expiry)));
+                }
                 // A tiny bit of user-mode bookkeeping CPU.
                 Step::Busy {
                     cycles: Cycles(600),
@@ -184,6 +228,19 @@ impl LatencyTool {
     /// `period_ms` is the `ARBITRARY_DELAY` between reads; the paper runs
     /// the PIT at 1 kHz and measures once per expiry.
     pub fn install(k: &mut Kernel, name: &str, priority: u8, period_ms: f64) -> LatencyTool {
+        LatencyTool::install_with(k, name, priority, period_ms, true)
+    }
+
+    /// [`Self::install`] with an explicit batched-recording toggle
+    /// (`--no-batch-record` passes `false` for the per-sample reference
+    /// path).
+    pub fn install_with(
+        k: &mut Kernel,
+        name: &str,
+        priority: u8,
+        period_ms: f64,
+        batch: bool,
+    ) -> LatencyTool {
         let cpu_hz = k.config().cpu_hz;
         let completion = k.create_event(EventKind::Synchronization, false);
         let irp = k.create_irp(3, Some(completion));
@@ -212,7 +269,7 @@ impl LatencyTool {
                 phase: 0,
             }),
         );
-        let results = Rc::new(RefCell::new(ToolResults::new(name, cpu_hz)));
+        let results = Rc::new(RefCell::new(ToolResults::new(name, cpu_hz, batch)));
         let _control = k.create_thread(
             &format!("{name}-control-app"),
             9, // A normal-priority user process.
@@ -280,6 +337,9 @@ pub type IdMap<K, V> = HashMap<K, V, BuildHasherDefault<IdHasher>>;
 pub struct DpcTruth {
     /// Recent (queued, started) activations.
     ring: VecDeque<(Instant, Instant)>,
+    /// First of four consecutive stage series ids: `lat`, `int`,
+    /// `round_int`, `isr_to_dpc` in that order.
+    sid: u16,
     /// The PIT interrupt latency of the tick that queued this DPC — one
     /// sample per measurement round, so Table 3's "H/W Int. to S/W ISR"
     /// row is consistent event-for-event with the DPC rows.
@@ -296,6 +356,8 @@ pub struct DpcTruth {
 pub struct ThreadTruth {
     /// The DPC whose `SetEvent` readies this thread.
     from_dpc: DpcId,
+    /// First of two consecutive stage series ids: `lat`, `int`.
+    sid: u16,
     /// Readied (KeSetEvent) to first instruction (thread latency).
     pub lat: LatencySeries,
     /// Hardware assert to first instruction (thread interrupt latency).
@@ -318,6 +380,11 @@ pub struct TruthCollector {
     /// PIT interrupt latency (hardware assert to first ISR instruction),
     /// sampled on **every** tick.
     pub pit_int: LatencySeries,
+    /// Raw-sample staging shared by every watched series; sid 0 is
+    /// `pit_int`, the rest are handed out by `watch_dpc`/`watch_thread`.
+    stage: SampleStage,
+    /// Batched recording on (see [`ToolResults`]).
+    batch: bool,
 }
 
 const RING: usize = 256;
@@ -341,14 +408,58 @@ fn pit_start_before(ring: &VecDeque<(Instant, Instant)>, t: Instant) -> Option<I
 impl TruthCollector {
     /// Creates a collector for the given kernel's PIT.
     pub fn new(k: &Kernel) -> TruthCollector {
+        TruthCollector::new_with(k, true)
+    }
+
+    /// [`Self::new`] with an explicit batched-recording toggle.
+    pub fn new_with(k: &Kernel, batch: bool) -> TruthCollector {
+        let cpu_hz = k.config().cpu_hz;
+        let mut stage = SampleStage::new(60 * cpu_hz);
+        let pit_sid = stage.register_series(1);
+        debug_assert_eq!(pit_sid, 0, "pit_int claims sid 0");
         TruthCollector {
-            cpu_hz: k.config().cpu_hz,
+            cpu_hz,
             pit_vector: k.pit_vector(),
             pit_ring: VecDeque::with_capacity(RING),
             dpcs: IdMap::default(),
             threads: IdMap::default(),
-            pit_int: LatencySeries::new("PIT interrupt latency", k.config().cpu_hz),
+            pit_int: LatencySeries::new("PIT interrupt latency", cpu_hz),
+            stage,
+            batch,
         }
+    }
+
+    /// Drains every staged sample into its series. Idempotent; must run
+    /// before any series is read or removed from the maps.
+    pub fn flush_staged(&mut self) {
+        if self.stage.is_empty() {
+            return;
+        }
+        self.stage.partition();
+        // Per-series runs are independent, so map iteration order cannot
+        // affect any series' contents.
+        self.stage.fold_into(0, &mut self.pit_int);
+        for d in self.dpcs.values_mut() {
+            self.stage.fold_into(d.sid, &mut d.lat);
+            self.stage.fold_into(d.sid + 1, &mut d.int);
+            self.stage.fold_into(d.sid + 2, &mut d.round_int);
+            self.stage.fold_into(d.sid + 3, &mut d.isr_to_dpc);
+        }
+        for t in self.threads.values_mut() {
+            self.stage.fold_into(t.sid, &mut t.lat);
+            self.stage.fold_into(t.sid + 1, &mut t.int);
+        }
+        self.stage.reset();
+    }
+
+    /// Completed stage flushes (bench accounting).
+    pub fn batch_flushes(&self) -> u64 {
+        self.stage.batch_flushes()
+    }
+
+    /// Samples that went through the stage (bench accounting).
+    pub fn staged_samples(&self) -> u64 {
+        self.stage.staged_samples()
     }
 
     /// Watches a measurement tool's DPC and thread.
@@ -360,8 +471,10 @@ impl TruthCollector {
     /// Watches a DPC's latency chain.
     pub fn watch_dpc(&mut self, dpc: DpcId) {
         let hz = self.cpu_hz;
+        let stage = &mut self.stage;
         self.dpcs.entry(dpc).or_insert_with(|| DpcTruth {
             ring: VecDeque::with_capacity(RING),
+            sid: stage.register_series(4),
             round_int: LatencySeries::new("interrupt latency (per round)", hz),
             lat: LatencySeries::new("DPC latency", hz),
             int: LatencySeries::new("DPC interrupt latency", hz),
@@ -372,8 +485,10 @@ impl TruthCollector {
     /// Watches a thread signaled by `from_dpc`.
     pub fn watch_thread(&mut self, t: ThreadId, from_dpc: DpcId) {
         let hz = self.cpu_hz;
+        let stage = &mut self.stage;
         self.threads.entry(t).or_insert_with(|| ThreadTruth {
             from_dpc,
+            sid: stage.register_series(2),
             lat: LatencySeries::new("thread latency", hz),
             int: LatencySeries::new("thread interrupt latency", hz),
         });
@@ -390,11 +505,19 @@ impl Observer for TruthCollector {
         if e.vector != self.pit_vector {
             return;
         }
-        self.pit_int.record_cycles(e.started, e.started - e.asserted);
+        let full = if self.batch {
+            self.stage.push(0, e.started, e.started - e.asserted)
+        } else {
+            self.pit_int.record_cycles(e.started, e.started - e.asserted);
+            false
+        };
         if self.pit_ring.len() == RING {
             self.pit_ring.pop_front();
         }
         self.pit_ring.push_back((e.asserted, e.started));
+        if full {
+            self.flush_staged();
+        }
     }
 
     fn on_dpc_start(&mut self, e: &DpcStart) {
@@ -407,13 +530,28 @@ impl Observer for TruthCollector {
         d.ring.push_back((e.queued, e.started));
         let queued = e.queued;
         let started = e.started;
-        d.lat.record_cycles(started, started - queued);
-        if let Some((asserted, isr_started)) = pit_entry_before(&self.pit_ring, queued) {
-            d.int.record_cycles(started, started - asserted);
-            d.round_int.record_cycles(started, isr_started - asserted);
+        let mut full = false;
+        if self.batch {
+            full |= self.stage.push(d.sid, started, started - queued);
+            if let Some((asserted, isr_started)) = pit_entry_before(&self.pit_ring, queued) {
+                full |= self.stage.push(d.sid + 1, started, started - asserted);
+                full |= self.stage.push(d.sid + 2, started, isr_started - asserted);
+            }
+            if let Some(isr_started) = pit_start_before(&self.pit_ring, queued) {
+                full |= self.stage.push(d.sid + 3, started, started - isr_started);
+            }
+        } else {
+            d.lat.record_cycles(started, started - queued);
+            if let Some((asserted, isr_started)) = pit_entry_before(&self.pit_ring, queued) {
+                d.int.record_cycles(started, started - asserted);
+                d.round_int.record_cycles(started, isr_started - asserted);
+            }
+            if let Some(isr_started) = pit_start_before(&self.pit_ring, queued) {
+                d.isr_to_dpc.record_cycles(started, started - isr_started);
+            }
         }
-        if let Some(isr_started) = pit_start_before(&self.pit_ring, queued) {
-            d.isr_to_dpc.record_cycles(started, started - isr_started);
+        if full {
+            self.flush_staged();
         }
     }
 
@@ -421,7 +559,12 @@ impl Observer for TruthCollector {
         let Some(t) = self.threads.get_mut(&e.thread) else {
             return;
         };
-        t.lat.record_cycles(e.started, e.started - e.readied);
+        let mut full = false;
+        if self.batch {
+            full |= self.stage.push(t.sid, e.started, e.started - e.readied);
+        } else {
+            t.lat.record_cycles(e.started, e.started - e.readied);
+        }
         let from_dpc = t.from_dpc;
         // The signal came from inside the DPC's execution: find the DPC
         // activation that readied us, then the PIT assert that queued it.
@@ -433,8 +576,15 @@ impl Observer for TruthCollector {
         if let Some(q) = queued {
             if let Some((asserted, _)) = pit_entry_before(&self.pit_ring, q) {
                 let t = self.threads.get_mut(&e.thread).expect("watched above");
-                t.int.record_cycles(e.started, e.started - asserted);
+                if self.batch {
+                    full |= self.stage.push(t.sid + 1, e.started, e.started - asserted);
+                } else {
+                    t.int.record_cycles(e.started, e.started - asserted);
+                }
             }
+        }
+        if full {
+            self.flush_staged();
         }
     }
 }
@@ -453,14 +603,44 @@ pub struct MeasurementSession {
 impl MeasurementSession {
     /// Installs both tools and the truth collector.
     pub fn install(k: &mut Kernel, period_ms: f64) -> MeasurementSession {
-        let rt28 = LatencyTool::install(k, "rt28", 28, period_ms);
-        let rt24 = LatencyTool::install(k, "rt24", 24, period_ms);
-        let mut truth = TruthCollector::new(k);
+        MeasurementSession::install_with(k, period_ms, true)
+    }
+
+    /// [`Self::install`] with an explicit batched-recording toggle
+    /// (`--no-batch-record` passes `false`).
+    pub fn install_with(k: &mut Kernel, period_ms: f64, batch: bool) -> MeasurementSession {
+        let rt28 = LatencyTool::install_with(k, "rt28", 28, period_ms, batch);
+        let rt24 = LatencyTool::install_with(k, "rt24", 24, period_ms, batch);
+        let mut truth = TruthCollector::new_with(k, batch);
         truth.watch_tool(&rt28);
         truth.watch_tool(&rt24);
         let truth = Rc::new(RefCell::new(truth));
         k.add_observer(truth.clone());
         MeasurementSession { rt28, rt24, truth }
+    }
+
+    /// Drains every staged sample in the session into its series. Call
+    /// after running and before reading any series or count.
+    pub fn flush(&self) {
+        self.rt28.results.borrow_mut().flush_staged();
+        self.rt24.results.borrow_mut().flush_staged();
+        self.truth.borrow_mut().flush_staged();
+    }
+
+    /// Completed stage flushes across the session's collectors (bench
+    /// accounting; see the `batch_flushes` BENCH field).
+    pub fn batch_flushes(&self) -> u64 {
+        self.rt28.results.borrow().batch_flushes()
+            + self.rt24.results.borrow().batch_flushes()
+            + self.truth.borrow().batch_flushes()
+    }
+
+    /// Samples staged across the session's collectors (bench accounting;
+    /// see the `staged_samples_per_sec` BENCH field).
+    pub fn staged_samples(&self) -> u64 {
+        self.rt28.results.borrow().staged_samples()
+            + self.rt24.results.borrow().staged_samples()
+            + self.truth.borrow().staged_samples()
     }
 }
 
@@ -474,6 +654,7 @@ mod tests {
         let mut k = Kernel::new(KernelConfig::default());
         let session = MeasurementSession::install(&mut k, 1.0);
         k.run_for(Cycles::from_ms(500.0));
+        session.flush();
         let r28 = session.rt28.results.borrow();
         assert!(
             r28.rounds > 100,
@@ -494,6 +675,7 @@ mod tests {
         let mut k = Kernel::new(KernelConfig::default());
         let session = MeasurementSession::install(&mut k, 1.0);
         k.run_for(Cycles::from_ms(500.0));
+        session.flush();
         let r = session.rt28.results.borrow();
         let truth = session.truth.borrow();
         let est = r.est_int_to_dpc.hist.mean_ms();
@@ -510,6 +692,7 @@ mod tests {
         let mut k = Kernel::new(KernelConfig::default());
         let session = MeasurementSession::install(&mut k, 1.0);
         k.run_for(Cycles::from_ms(300.0));
+        session.flush();
         let truth = session.truth.borrow();
         let l28 = truth.threads[&session.rt28.thread].lat.hist.max_ms();
         let l24 = truth.threads[&session.rt24.thread].lat.hist.max_ms();

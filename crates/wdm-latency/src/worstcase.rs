@@ -108,6 +108,51 @@ impl BlockMaxima {
         self.cur_nonempty = true;
     }
 
+    /// Folds a batch of cycle-domain samples observed at non-decreasing
+    /// timestamps, all at one clock rate. Bit-identical to calling
+    /// [`Self::record_cycles`] once per element: the rate fold hoists out
+    /// of the loop, and the batch splits into runs that stay inside one
+    /// block — each run is a pure `u64` max-reduce — with the exact
+    /// streaming flush rule applied between runs (DESIGN.md §13).
+    pub fn record_cycles_batch(&mut self, nows: &[u64], cycles: &[u64], cpu_hz: u64) {
+        debug_assert_eq!(nows.len(), cycles.len(), "columns must align");
+        if nows.is_empty() {
+            return;
+        }
+        if self.cur_hz != cpu_hz {
+            if self.cur_max_c != 0 {
+                let ms = Cycles(self.cur_max_c).as_ms_at(self.cur_hz);
+                if ms > self.cur_max {
+                    self.cur_max = ms;
+                }
+                self.cur_max_c = 0;
+            }
+            self.cur_hz = cpu_hz;
+        }
+        let mut i = 0;
+        while i < nows.len() {
+            let end = self.cur_block_end.0;
+            if nows[i] >= end {
+                self.flush_block();
+                continue;
+            }
+            // Extent of the run staying inside the current block.
+            let mut j = i + 1;
+            while j < nows.len() && nows[j] < end {
+                j += 1;
+            }
+            let mut max_c = self.cur_max_c;
+            for &c in &cycles[i..j] {
+                if c > max_c {
+                    max_c = c;
+                }
+            }
+            self.cur_max_c = max_c;
+            self.cur_nonempty = true;
+            i = j;
+        }
+    }
+
     /// Completed block maxima (the in-progress block is excluded).
     pub fn maxima(&self) -> &[f64] {
         &self.maxima
@@ -224,6 +269,17 @@ impl LatencySeries {
     pub fn record_cycles(&mut self, now: Instant, c: Cycles) {
         self.hist.record_cycles(c, self.cpu_hz);
         self.blocks.record_cycles(now, c, self.cpu_hz);
+    }
+
+    /// Folds a staged batch of cycle-domain samples (parallel `now` /
+    /// latency columns, stream order, non-decreasing timestamps) at the
+    /// series' clock rate. Bit-identical to per-sample
+    /// [`Self::record_cycles`] calls: histogram and block-maxima state are
+    /// independent, so folding the whole column into each in turn
+    /// reproduces the interleaved per-sample updates exactly.
+    pub fn record_cycles_batch(&mut self, nows: &[u64], cycles: &[u64]) {
+        self.hist.record_cycles_batch(cycles, self.cpu_hz);
+        self.blocks.record_cycles_batch(nows, cycles, self.cpu_hz);
     }
 
     /// Closes the block-maxima window after `whole_minutes` of collection

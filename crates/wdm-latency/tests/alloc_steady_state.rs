@@ -6,7 +6,10 @@
 //! built its integer bin edges and grown its block-maxima vector to
 //! steady capacity, a record-heavy window — compiled sampler draws (exact
 //! and table mode) feeding `record_cycles` — must perform **zero** heap
-//! operations, sample for sample.
+//! operations, sample for sample. A second window pins the batched path
+//! (DESIGN.md §13): `draw_batch` into a fixed buffer, 200k samples staged
+//! through a [`SampleStage`] and flushed (partition + fold + reset), also
+//! at zero heap operations.
 //!
 //! The file holds a single `#[test]` on purpose: the counter is global, so
 //! a sibling test running concurrently would bleed its allocations into
@@ -19,8 +22,9 @@ use std::{
 
 use rand::{rngs::StdRng, SeedableRng};
 use wdm_latency::worstcase::LatencySeries;
+use wdm_latency::SampleStage;
 use wdm_osmodel::dist::{Dist, SamplerMode};
-use wdm_sim::time::Instant;
+use wdm_sim::time::{Cycles, Instant};
 
 struct CountingAlloc;
 
@@ -114,4 +118,79 @@ fn record_heavy_window_is_allocation_free() {
     );
     assert_eq!(series.hist.fast_bin_samples(), 2 * (warm_samples + samples));
     assert!(series.hist.count() == 2 * (warm_samples + samples));
+
+    // Staged pipeline (DESIGN.md §13): batch draws into a fixed buffer,
+    // stage raw triples, and run the full partition/fold/reset flush loop.
+    // Once the stage's columns, the series' bin edges, and the maxima
+    // vector are at steady capacity, 200k staged+flushed samples must also
+    // be allocation-free.
+    let mut staged_series = LatencySeries::new("staged", CPU_HZ);
+    let mut stage = SampleStage::new(BLOCK);
+    let sid = stage.register_series(1);
+    let mut buf = vec![Cycles(0); 256];
+    let flush = |stage: &mut SampleStage, s: &mut LatencySeries| {
+        stage.partition();
+        stage.fold_into(sid, s);
+        stage.reset();
+    };
+
+    // Warm-up: close ~100 blocks through the staged path so every piece
+    // of state reaches steady capacity before the measured window.
+    for i in 0..warm_samples {
+        let now = Instant(i * (100 * BLOCK / warm_samples));
+        exact.draw_batch(&mut rng, &mut buf[..2]);
+        for k in [buf[0], buf[1]] {
+            if stage.push(sid, now, k) {
+                flush(&mut stage, &mut staged_series);
+            }
+        }
+    }
+    if !stage.is_empty() {
+        flush(&mut stage, &mut staged_series);
+    }
+    assert!(
+        staged_series.blocks.maxima().len() >= 90,
+        "staged warm-up must close ~100 blocks: {}",
+        staged_series.blocks.maxima().len()
+    );
+
+    // Measured window: 782 batches of 256 draws (200k+ samples) staged,
+    // flushed at capacity and block boundaries, spanning ~20 more blocks.
+    let batches = 782u64;
+    let before = heap_ops();
+    for b in 0..batches {
+        let now = Instant(warm_end + b * (20 * BLOCK / batches));
+        exact.draw_batch(&mut rng, &mut buf);
+        for &c in buf.iter() {
+            if stage.push(sid, now, c) {
+                flush(&mut stage, &mut staged_series);
+            }
+        }
+    }
+    if !stage.is_empty() {
+        flush(&mut stage, &mut staged_series); // Partial final flush.
+    }
+    let ops = heap_ops() - before;
+    let staged_window = batches * buf.len() as u64;
+    assert_eq!(
+        ops,
+        0,
+        "staged recording steady state must not touch the heap \
+         ({ops} ops over {staged_window} staged samples)"
+    );
+    assert_eq!(
+        stage.staged_samples(),
+        2 * warm_samples + staged_window,
+        "every sample passes through the stage"
+    );
+    assert!(
+        stage.batch_flushes() >= staged_window / 1024,
+        "capacity flushes must occur: {}",
+        stage.batch_flushes()
+    );
+    assert_eq!(staged_series.hist.count(), 2 * warm_samples + staged_window);
+    assert_eq!(
+        staged_series.hist.fast_bin_samples(),
+        2 * warm_samples + staged_window
+    );
 }

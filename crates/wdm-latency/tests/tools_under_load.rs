@@ -67,6 +67,7 @@ fn legacy_tool_matches_truth_collector_on_win98() {
     let session = MeasurementSession::install(&mut k, 1.0);
     let legacy = LegacyWin9xTool::install(&mut k, OsKind::Win98, 1.0).expect("win98");
     k.run_for(Cycles::from_ms_at(10_000.0, k.config().cpu_hz));
+    session.flush();
     let truth = session.truth.borrow();
     let legacy = legacy.records.borrow();
     // Both see the same PIT interrupt latency distribution.
@@ -93,13 +94,12 @@ fn profiler_attributes_workload_cpu_sanely() {
     scenario
         .kernel
         .run_for(Cycles::from_ms_at(10_000.0, scenario.kernel.config().cpu_hz));
-    let prof = prof.borrow();
-    assert!(prof.total > 50_000, "8 kHz x 10 s: {}", prof.total);
+    let mut prof = prof.borrow_mut();
+    assert!(prof.total() > 50_000, "8 kHz x 10 s: {}", prof.total());
     // Idle share from the profile vs from accounting (exclude profiler's
     // own ~0.4% overhead from the comparison tolerance).
     let idle_label = wdm_sim::labels::Label::IDLE;
-    let idle_share = prof.counts.get(&idle_label).copied().unwrap_or(0) as f64
-        / prof.total as f64;
+    let idle_share = prof.count_of(idle_label) as f64 / prof.total() as f64;
     let acct = scenario.kernel.account;
     let idle_acct = acct.idle as f64 / acct.total() as f64;
     assert!(

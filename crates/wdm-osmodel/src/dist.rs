@@ -457,6 +457,80 @@ impl CompiledSampler {
             }
         }
     }
+
+    /// Fills `out` with consecutive draws, matching the variant once for
+    /// the whole batch instead of once per sample. Consumes the RNG in
+    /// exactly the order of `out.len()` sequential [`Self::draw`] calls,
+    /// so interleaving batched and single draws on one RNG is
+    /// stream-identical — which is also why mixture selection cannot be
+    /// prefetched (the selection draw and the component draw interleave).
+    ///
+    /// Harnesses that own their RNG (benches, proptest oracles, the
+    /// allocation test) use this to keep sampler dispatch off their inner
+    /// loops; kernel env sources draw one gap at a time against the shared
+    /// kernel RNG and must not batch.
+    pub fn draw_batch(&self, rng: &mut StdRng, out: &mut [Cycles]) {
+        match self {
+            CompiledSampler::Constant(c) => out.fill(*c),
+            CompiledSampler::Uniform { lo, hi, cpu_hz } => {
+                for slot in out.iter_mut() {
+                    let x: f64 = rng.gen_range(*lo..=*hi);
+                    *slot = Cycles::from_ms_at(x.max(0.0), *cpu_hz);
+                }
+            }
+            CompiledSampler::Exponential { mean, cpu_hz } => {
+                for slot in out.iter_mut() {
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    *slot = Cycles::from_ms_at((-mean * u.ln()).max(0.0), *cpu_hz);
+                }
+            }
+            CompiledSampler::LogNormal {
+                median,
+                sigma,
+                cap,
+                cpu_hz,
+            } => {
+                for slot in out.iter_mut() {
+                    let z = sample_standard_normal(rng);
+                    let x = (median * (sigma * z).exp()).min(*cap);
+                    *slot = Cycles::from_ms_at(x.max(0.0), *cpu_hz);
+                }
+            }
+            CompiledSampler::Pareto {
+                xmin,
+                cap,
+                l,
+                h,
+                hl,
+                inv,
+                cpu_hz,
+            } => {
+                for slot in out.iter_mut() {
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    let x = (-(u * h - u * l - h) / hl).powf(*inv);
+                    *slot = Cycles::from_ms_at(x.clamp(*xmin, *cap).max(0.0), *cpu_hz);
+                }
+            }
+            CompiledSampler::Table(t) => {
+                let knots = &t.knots;
+                for slot in out.iter_mut() {
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    let pos = u * (knots.len() - 1) as f64;
+                    let i = (pos as usize).min(knots.len() - 2);
+                    let frac = pos - i as f64;
+                    let c = knots[i] + frac * (knots[i + 1] - knots[i]);
+                    *slot = Cycles(c as u64);
+                }
+            }
+            // Selection and component draws interleave on the one RNG, so
+            // mixtures fall back to the per-sample path slot by slot.
+            CompiledSampler::Mixture { .. } | CompiledSampler::Alias { .. } => {
+                for slot in out.iter_mut() {
+                    *slot = self.draw(rng);
+                }
+            }
+        }
+    }
 }
 
 /// Number of knots in a quantile table: dense enough that linear
@@ -1189,5 +1263,47 @@ mod tests {
         assert_eq!(SamplerMode::parse("fast"), None);
         assert_eq!(SamplerMode::default().as_str(), "exact");
         assert_eq!(SamplerMode::Table.as_str(), "table");
+    }
+
+    #[test]
+    fn draw_batch_is_stream_identical_to_sequential_draws() {
+        let dists = [
+            Dist::Constant(0.25),
+            Dist::Uniform { lo: 0.1, hi: 2.0 },
+            Dist::Exponential { mean: 1.5 },
+            Dist::LogNormal {
+                median: 1.0,
+                sigma: 0.8,
+                cap: 40.0,
+            },
+            Dist::ParetoBounded {
+                xmin: 0.05,
+                alpha: 1.2,
+                cap: 200.0,
+            },
+            Dist::Mixture(vec![
+                (0.7, Dist::Constant(0.1)),
+                (0.3, Dist::Exponential { mean: 3.0 }),
+            ]),
+        ];
+        for d in &dists {
+            for mode in [SamplerMode::Exact, SamplerMode::Table] {
+                let s = d.compile(300_000_000, mode);
+                // Odd length + interleaving exercises the RNG-order claim:
+                // batch, single draw, batch again, on one stream.
+                let mut a = rng();
+                let mut batched = vec![Cycles(0); 37];
+                s.draw_batch(&mut a, &mut batched[..17]);
+                let mid = s.draw(&mut a);
+                s.draw_batch(&mut a, &mut batched[17..]);
+                let mut b = rng();
+                for (k, want) in batched.iter().enumerate() {
+                    if k == 17 {
+                        assert_eq!(s.draw(&mut b), mid, "{d:?} {mode:?} mid");
+                    }
+                    assert_eq!(s.draw(&mut b), *want, "{d:?} {mode:?} draw {k}");
+                }
+            }
+        }
     }
 }

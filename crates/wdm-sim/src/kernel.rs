@@ -199,8 +199,11 @@ pub struct Kernel {
     /// [`Kernel::fire_env`], which takes the slot to split borrows without
     /// allocating a placeholder source per arrival.
     env: Vec<Option<EnvSource>>,
-    /// Observers paired with their sniffed [`Interest`] mask.
-    observers: Vec<(Rc<RefCell<dyn Observer>>, Interest)>,
+    /// Per-kind observer lists, indexed by [`Interest::index`]: an observer
+    /// interested in k kinds appears in k lists (Rc clones, built once at
+    /// [`Kernel::add_observer`]). Delivery for a kind walks its dense list
+    /// with no per-observer mask branch.
+    by_kind: [Vec<Rc<RefCell<dyn Observer>>>; Interest::KINDS],
     /// Union of every registered observer's interest mask. An event kind
     /// outside this union costs one branch: no event struct, no list
     /// take/restore.
@@ -298,7 +301,7 @@ impl Kernel {
             frames: Vec::new(),
             pending_sections: VecDeque::new(),
             env: Vec::new(),
-            observers: Vec::new(),
+            by_kind: std::array::from_fn(|_| Vec::new()),
             interest_union: Interest::NONE,
             resched: false,
             current_label: Label::IDLE,
@@ -518,7 +521,12 @@ impl Kernel {
     pub fn add_observer<T: Observer + 'static>(&mut self, obs: ObserverHandle<T>) {
         let interest = obs.borrow().interest();
         self.interest_union |= interest;
-        self.observers.push((obs, interest));
+        let obs: Rc<RefCell<dyn Observer>> = obs;
+        for i in 0..Interest::KINDS {
+            if interest.contains(Interest::kind_at(i)) {
+                self.by_kind[i].push(obs.clone());
+            }
+        }
     }
 
     /// Enables or disables the batched fast-forward in the step loops
@@ -2197,14 +2205,12 @@ impl Kernel {
                 // borrows `self.board` alongside the observer list.
                 if self.wants(Interest::IRP_COMPLETE) {
                     self.notify_takes += 1;
-                    let mut obs = std::mem::take(&mut self.observers);
-                    for (o, m) in &obs {
-                        if m.contains(Interest::IRP_COMPLETE) {
-                            o.borrow_mut().on_irp_complete(irp, &self.board, now);
-                        }
+                    let kind = Interest::IRP_COMPLETE.index();
+                    let obs = std::mem::take(&mut self.by_kind[kind]);
+                    for o in &obs {
+                        o.borrow_mut().on_irp_complete(irp, &self.board, now);
                     }
-                    obs.append(&mut self.observers);
-                    self.observers = obs;
+                    self.restore_kind(kind, obs);
                 }
             }
             other => unreachable!("apply_service_step got {other:?}"),
@@ -2380,14 +2386,12 @@ impl Kernel {
         // interest-union branch here pays for the whole mask machinery.
         if self.wants(Interest::CONTEXT_SWITCH) {
             self.notify_takes += 1;
-            let mut obs = std::mem::take(&mut self.observers);
-            for (o, m) in &obs {
-                if m.contains(Interest::CONTEXT_SWITCH) {
-                    o.borrow_mut().on_context_switch(from, next, now);
-                }
+            let kind = Interest::CONTEXT_SWITCH.index();
+            let obs = std::mem::take(&mut self.by_kind[kind]);
+            for o in &obs {
+                o.borrow_mut().on_context_switch(from, next, now);
             }
-            obs.append(&mut self.observers);
-            self.observers = obs;
+            self.restore_kind(kind, obs);
         }
     }
 
@@ -2499,23 +2503,30 @@ impl Kernel {
     }
 
     /// Invokes `f` on every observer interested in `kind` without cloning
-    /// the `Vec<Rc<_>>` per event. Observers hold no kernel handle
-    /// (`add_observer` needs `&mut Kernel`), so no callback can mutate the
-    /// list mid-iteration; the take/merge-restore keeps even that
-    /// hypothetical sound. Callers gate on [`Kernel::wants`] first —
-    /// `notify_takes` counts every take so the masked-delivery bench can
-    /// assert uninterested kinds never reach this point.
+    /// the `Vec<Rc<_>>` per event. Delivery walks the kind's dense list
+    /// (built at [`Kernel::add_observer`]), so there is no per-observer
+    /// mask branch. Observers hold no kernel handle (`add_observer` needs
+    /// `&mut Kernel`), so no callback can mutate the list mid-iteration;
+    /// the take/merge-restore keeps even that hypothetical sound. Callers
+    /// gate on [`Kernel::wants`] first — `notify_takes` counts every take
+    /// so the masked-delivery bench can assert uninterested kinds never
+    /// reach this point.
     fn notify<E, F: Fn(&mut dyn Observer, &E)>(&mut self, kind: Interest, f: F, e: &E) {
         debug_assert!(self.wants(kind), "notify for a kind nobody declared");
         self.notify_takes += 1;
-        let mut obs = std::mem::take(&mut self.observers);
-        for (o, m) in &obs {
-            if m.contains(kind) {
-                f(&mut *o.borrow_mut(), e);
-            }
+        let kind = kind.index();
+        let obs = std::mem::take(&mut self.by_kind[kind]);
+        for o in &obs {
+            f(&mut *o.borrow_mut(), e);
         }
-        obs.append(&mut self.observers);
-        self.observers = obs;
+        self.restore_kind(kind, obs);
+    }
+
+    /// Puts a kind's taken observer list back, preserving any observers a
+    /// callback hypothetically registered during the walk.
+    fn restore_kind(&mut self, kind: usize, mut obs: Vec<Rc<RefCell<dyn Observer>>>) {
+        obs.append(&mut self.by_kind[kind]);
+        self.by_kind[kind] = obs;
     }
 }
 

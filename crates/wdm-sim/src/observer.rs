@@ -124,6 +124,9 @@ impl Interest {
     /// Every event kind (the default for observers that do not narrow).
     pub const ALL: Interest = Interest(0b111_1111);
 
+    /// The number of distinct event kinds (bits in [`Interest::ALL`]).
+    pub const KINDS: usize = 7;
+
     /// True if this mask includes any kind of `other`.
     pub const fn contains(self, other: Interest) -> bool {
         self.0 & other.0 != 0
@@ -132,6 +135,20 @@ impl Interest {
     /// True if no kinds are set.
     pub const fn is_empty(self) -> bool {
         self.0 == 0
+    }
+
+    /// The kind index of a single-kind mask (its bit position) — the key
+    /// into the kernel's per-kind observer lists. Only meaningful for the
+    /// single-bit constants above.
+    pub const fn index(self) -> usize {
+        debug_assert!(self.0.count_ones() == 1, "index() needs a single kind");
+        self.0.trailing_zeros() as usize
+    }
+
+    /// The single-kind mask at `i` — the inverse of [`Interest::index`].
+    pub const fn kind_at(i: usize) -> Interest {
+        debug_assert!(i < Interest::KINDS);
+        Interest(1 << i)
     }
 }
 
@@ -250,5 +267,24 @@ mod tests {
         let mut u = Interest::NONE;
         u |= Interest::THREAD_RESUME;
         assert!(u.contains(Interest::THREAD_RESUME) && !u.contains(Interest::ISR_ENTER));
+    }
+
+    #[test]
+    fn kind_indices_roundtrip() {
+        let kinds = [
+            Interest::ISR_ENTER,
+            Interest::DPC_START,
+            Interest::THREAD_RESUME,
+            Interest::IRP_COMPLETE,
+            Interest::CONTEXT_SWITCH,
+            Interest::CALENDAR_POP,
+            Interest::QUANTUM_EXPIRY,
+        ];
+        assert_eq!(kinds.len(), Interest::KINDS);
+        for (i, k) in kinds.into_iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert_eq!(Interest::kind_at(i), k);
+            assert!(Interest::ALL.contains(k));
+        }
     }
 }
