@@ -79,6 +79,16 @@ pub struct RunConfig {
     /// batch-smoke job asserts it against the committed digests). See
     /// DESIGN.md §13.
     pub batch_record: bool,
+    /// Run the legacy v1 stream-order statistics accumulator
+    /// (`repro --stats-v1`), kept for one release so the v1 digest
+    /// baselines (`artifacts/CELL_digests_v1.txt`) stay reproducible.
+    /// The default (false) is the v2 exact cycle-domain accumulator:
+    /// order-independent summaries pinned by the main digest files. The
+    /// flag must match the process-wide switch
+    /// (`wdm_latency::set_stats_v1`), which `main` sets before any
+    /// measurement runs; here it selects index-order vs completion-order
+    /// shard consumption. See DESIGN.md §14.
+    pub stats_v1: bool,
 }
 
 impl Default for RunConfig {
@@ -92,6 +102,7 @@ impl Default for RunConfig {
             compile: true,
             sampler_mode: SamplerMode::Exact,
             batch_record: true,
+            stats_v1: false,
         }
     }
 }
@@ -319,13 +330,39 @@ pub struct TimedCells {
     pub timings: Vec<CellTiming>,
 }
 
+/// Per-cell assembly state for the completion-order merge: commutative
+/// state accumulates as shards arrive; positional payloads slot by shard
+/// index so the assembled cell is byte-identical at any arrival order.
+struct CellAssembly {
+    /// Merged closed shards (everything but the final shard).
+    acc: Option<ScenarioMeasurement>,
+    /// The final shard — the only one whose block window may end
+    /// mid-minute, adopted last via the sequential [`ScenarioMeasurement::merge_shard`].
+    tail: Option<ScenarioMeasurement>,
+    /// Episode renderings per shard index.
+    episodes: Vec<Option<Vec<String>>>,
+    /// Chrome trace events per shard index.
+    traces: Vec<Option<Vec<String>>>,
+    /// Wall-clock per shard index.
+    walls: Vec<f64>,
+    /// Absolute whole-minute offset of each shard in the cell window
+    /// (prefix sums of the closed shards' minutes).
+    offsets: Vec<usize>,
+    /// Simulated hours per shard, for the index-order f64 re-fold that
+    /// keeps `collected_hours` bit-identical to the sequential merge.
+    hours: Vec<f64>,
+}
+
 /// Measures all 8 cells and records per-cell wall-clock cost.
 ///
 /// Every cell expands into its shard jobs first, so the worker pool sees the
 /// flat 8 x K job list (shards are independent simulations just like cells —
-/// each seeds from its [`ShardSpec`] alone). Results are collected by job
-/// index and merged per cell in time order, which keeps the output
-/// byte-identical to a serial run at any thread count.
+/// each seeds from its [`ShardSpec`] alone). Under the v2 exact accumulators
+/// shard results are consumed in **completion order** — every merge commutes
+/// (DESIGN.md §14), positional payloads are slotted by shard index, and the
+/// output is byte-identical to the sequential merge at any thread count and
+/// arrival order. Under `--stats-v1` the arrivals are first sorted back to
+/// job-index order, reproducing the legacy order-sensitive fold exactly.
 pub fn measure_all_timed(cfg: &RunConfig) -> TimedCells {
     let cells: Vec<(OsKind, WorkloadKind)> = [OsKind::Nt4, OsKind::Win98]
         .into_iter()
@@ -347,7 +384,7 @@ pub fn measure_all_timed(cfg: &RunConfig) -> TimedCells {
     let threads = crate::parallel::effective_threads(cfg.threads, jobs.len());
     let t0 = std::time::Instant::now();
     let _grid = spans::span("measure grid");
-    let results = crate::parallel::parallel_map(jobs.len(), threads, |i| {
+    let mut arrivals = crate::parallel::parallel_map_completion(jobs.len(), threads, |i| {
         let (ci, si, k, spec) = jobs[i];
         let (os, w) = cells[ci];
         let scope = format!("cell {:?}/{:?} shard {}/{}", os, w, si + 1, k);
@@ -362,21 +399,97 @@ pub fn measure_all_timed(cfg: &RunConfig) -> TimedCells {
     let total_wall_s = t0.elapsed().as_secs_f64();
     drop(_grid);
 
-    // Regroup the flat results per cell; job order within a cell is shard
-    // time order, so the fold in `merge_shards` is the exact concatenation.
-    let mut per_cell: Vec<(Vec<ScenarioMeasurement>, Vec<f64>)> =
-        cells.iter().map(|_| (Vec::new(), Vec::new())).collect();
-    for (&(ci, ..), (m, wall_s)) in jobs.iter().zip(results) {
-        per_cell[ci].0.push(m);
-        per_cell[ci].1.push(wall_s);
+    let _merge = spans::span("merge shards");
+    if cfg.stats_v1 {
+        // Legacy fold: shard time order within each cell, exactly the old
+        // index-order consumption the v1 digests pin.
+        arrivals.sort_by_key(|&(i, _)| i);
     }
 
-    let _merge = spans::span("merge shards");
+    // Prepare per-cell assembly slots from the (deterministic) job list.
+    let mut asm: Vec<CellAssembly> = cells
+        .iter()
+        .map(|_| CellAssembly {
+            acc: None,
+            tail: None,
+            episodes: Vec::new(),
+            traces: Vec::new(),
+            walls: Vec::new(),
+            offsets: Vec::new(),
+            hours: Vec::new(),
+        })
+        .collect();
+    let mut cum_minutes = vec![0usize; cells.len()];
+    for &(ci, si, _, spec) in &jobs {
+        let a = &mut asm[ci];
+        debug_assert_eq!(a.hours.len(), si, "jobs list cell-shards in order");
+        a.episodes.push(None);
+        a.traces.push(None);
+        a.walls.push(0.0);
+        a.hours.push(spec.hours);
+        a.offsets.push(cum_minutes[ci]);
+        // Single-shard cells have no closing boundary; the offset stays 0
+        // and the legacy whole-cell path below is untouched.
+        cum_minutes[ci] += spec.close_minutes.unwrap_or(0);
+    }
+
+    for (ji, (mut m, wall_s)) in arrivals {
+        let (ci, si, k, _) = jobs[ji];
+        let a = &mut asm[ci];
+        a.walls[si] = wall_s;
+        a.episodes[si] = Some(std::mem::take(&mut m.episodes));
+        a.traces[si] = Some(std::mem::take(&mut m.trace_events));
+        if si == k - 1 {
+            // The final shard may end mid-minute (open hot block); it is
+            // adopted by the sequential merge once every closed shard is in.
+            a.tail = Some(m);
+        } else {
+            let off = a.offsets[si];
+            match a.acc.as_mut() {
+                None => {
+                    m.shift_blocks(off);
+                    a.acc = Some(m);
+                }
+                Some(acc) => {
+                    // Episodes/traces were already taken; the returned
+                    // positional payloads are empty by construction.
+                    let _ = acc.merge_shard_at(off, m);
+                }
+            }
+        }
+    }
+
     let mut timings = Vec::with_capacity(cells.len());
     let mut nt = Vec::new();
     let mut win98 = Vec::new();
-    for (&(os, workload), (shards, shard_wall_s)) in cells.iter().zip(per_cell) {
-        let mut m = ScenarioMeasurement::merge_shards(shards);
+    for (&(os, workload), a) in cells.iter().zip(asm) {
+        let tail = a.tail.expect("every cell has a final shard");
+        let mut m = match a.acc {
+            Some(mut acc) => {
+                acc.merge_shard(tail);
+                acc
+            }
+            None => tail,
+        };
+        // Positional payloads reassemble in shard-index order, and the
+        // f64 hours re-fold in index order so the bits match the
+        // sequential merge exactly (the digest pins them).
+        m.episodes = a
+            .episodes
+            .into_iter()
+            .flat_map(|e| e.expect("every shard arrived"))
+            .collect();
+        m.trace_events = a
+            .traces
+            .into_iter()
+            .flat_map(|t| t.expect("every shard arrived"))
+            .collect();
+        let mut hours = a.hours[0];
+        for &h in &a.hours[1..] {
+            hours += h;
+        }
+        m.collected_hours = hours;
+        let shard_wall_s = a.walls;
         timings.push(CellTiming {
             os,
             workload,
@@ -480,6 +593,7 @@ mod tests {
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
             batch_record: true,
+            stats_v1: false,
         };
         let m = measure_cell(&cfg, OsKind::Nt4, WorkloadKind::Web);
         // Every-tick series sees ~3k samples in 3 s; the per-round series
@@ -533,6 +647,7 @@ mod tests {
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
             batch_record: true,
+            stats_v1: false,
         };
         // Sub-minute window: exactly one shard with the cell's own seed and
         // no block closing, i.e. the pre-shard harness.
@@ -553,6 +668,7 @@ mod tests {
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
             batch_record: true,
+            stats_v1: false,
         };
         let specs = cell_shards(&cfg, OsKind::Nt4, WorkloadKind::Business);
         assert_eq!(specs.len(), 2);

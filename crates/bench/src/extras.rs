@@ -592,6 +592,7 @@ mod tests {
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
         batch_record: true,
+        stats_v1: false,
         };
         let cells = measure_all(&cfg);
         let t = throughput(&cells);

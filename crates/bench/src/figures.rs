@@ -224,6 +224,7 @@ mod tests {
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
             batch_record: true,
+            stats_v1: false,
         }
     }
 

@@ -29,7 +29,7 @@ use wdm_bench::{
 };
 use wdm_osmodel::dist::SamplerMode;
 
-const USAGE: &str = "usage: repro <artifact> [--minutes N | --full] [--seed S] [--threads T] [--shards K] [--out DIR] [--trace] [--no-compile] [--no-batch-record] [--sampler-mode exact|table] [--repeats R] [--quiet | --verbose]
+const USAGE: &str = "usage: repro <artifact> [--minutes N | --full] [--seed S] [--threads T] [--shards K] [--out DIR] [--trace] [--no-compile] [--no-batch-record] [--stats-v1] [--sampler-mode exact|table] [--repeats R] [--quiet | --verbose]
 
 artifacts:
   table1 table2 table3 table4 figure4 figure5 figure6 figure7
@@ -50,6 +50,11 @@ options:
   --no-batch-record
                 record each latency sample straight into its series instead
                 of staging and batch-folding (output byte-identical)
+  --stats-v1    legacy v1 statistics: float millisecond accumulation in
+                stream order instead of the exact cycle-domain epoch sums
+                (DESIGN.md \u{a7}14). Reproduces the previous release's digests
+                bit-for-bit (artifacts/CELL_digests_v1.txt); kept for one
+                release as an A/B and repro escape hatch
   --sampler-mode exact|table
                 how distribution draws are lowered: 'exact' (default) is
                 bit-identical to the interpreted samplers; 'table' uses
@@ -96,6 +101,7 @@ fn main() {
     let mut trace = false;
     let mut compile = true;
     let mut batch_record = true;
+    let mut stats_v1 = false;
     let mut sampler_mode = SamplerMode::Exact;
     let mut repeats: Option<usize> = None;
     let mut out_dir: Option<std::path::PathBuf> = None;
@@ -122,6 +128,7 @@ fn main() {
             "--trace" => trace = true,
             "--no-compile" => compile = false,
             "--no-batch-record" => batch_record = false,
+            "--stats-v1" => stats_v1 = true,
             "--repeats" => {
                 let r: usize = flag_value(&args, &mut i, "--repeats");
                 if r < 1 {
@@ -174,6 +181,13 @@ fn main() {
     if let Some(v) = verbosity {
         progress::set_verbosity(v);
     }
+    if stats_v1 {
+        // Flip the process-global statistics mode before any measurement
+        // state (histograms, stages) is constructed — they snapshot the
+        // mode at construction, and worker threads inherit whatever is set
+        // here. See DESIGN.md §14.
+        wdm_latency::set_stats_v1(true);
+    }
     let cfg = RunConfig {
         duration,
         seed,
@@ -183,6 +197,7 @@ fn main() {
         compile,
         sampler_mode,
         batch_record,
+        stats_v1,
     };
     let minutes = match duration {
         Duration::Minutes(m) => m,

@@ -162,6 +162,7 @@ mod tests {
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
             batch_record: true,
+            stats_v1: false,
         }
     }
 
@@ -196,6 +197,7 @@ mod tests {
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
         batch_record: true,
+        stats_v1: false,
         };
         let t = table4(&cfg);
         assert!(t.contains("episodes captured"));

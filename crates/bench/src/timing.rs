@@ -203,6 +203,18 @@ pub fn run(cfg: &RunConfig, repeats_override: Option<usize>) -> TimingReport {
     }
 }
 
+/// Carried verbatim in every `BENCH_cells.json` so a reader (human or
+/// regression tool) comparing two timing artifacts is warned that the
+/// absolute rates depend on which machine — and which thermal/load phase
+/// of that machine — produced each artifact. Only the *ratios within one
+/// artifact* (speedups, compiled-vs-interpreted, v2-vs-`--stats-v1`) are
+/// host-phase-controlled, because their sides ran interleaved in one
+/// process. See EXPERIMENTS.md.
+pub const HOST_PHASE_NOTE: &str = "absolute events_per_sec values are \
+    host- and phase-dependent; compare ratios (speedup, compile_speedup, \
+    table_speedup) within one artifact, never absolute rates across \
+    artifacts";
+
 /// Renders the report as the `BENCH_cells.json` document.
 pub fn render_json(cfg: &RunConfig, r: &TimingReport) -> String {
     let mut cells = String::new();
@@ -302,7 +314,8 @@ pub fn render_json(cfg: &RunConfig, r: &TimingReport) -> String {
         "{{\n  \"artifact\": \"BENCH_cells\",\n  \"duration\": {},\n  \"seed\": {},\n  \
          \"threads\": {},\n  \"host_cores\": {},\n  \
          \"shards\": {},\n  \"repeats\": {},\n  \"compiled\": {},\n  \
-         \"sampler_mode\": {},\n  \"shard_imbalance\": {},\n  \
+         \"sampler_mode\": {},\n  \"stats_mode\": {},\n  \
+         \"host_phase_note\": {},\n  \"shard_imbalance\": {},\n  \
          \"serial_wall_s\": {},\n  \"parallel_wall_s\": {},\n  \
          \"interpreted_serial_wall_s\": {},\n  \"table_serial_wall_s\": {},\n  \
          \"speedup\": {},\n  \"compile_speedup\": {},\n  \"table_speedup\": {},\n  \
@@ -325,6 +338,8 @@ pub fn render_json(cfg: &RunConfig, r: &TimingReport) -> String {
         r.repeats,
         cfg.compile,
         json_str(cfg.sampler_mode.as_str()),
+        json_str(if cfg.stats_v1 { "v1" } else { "v2" }),
+        json_str(HOST_PHASE_NOTE),
         json_f64(r.grid_imbalance()),
         json_f64(r.serial.total_wall_s),
         json_f64(r.parallel.total_wall_s),
@@ -455,7 +470,8 @@ mod tests {
             trace: false,
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
-        batch_record: true,
+            batch_record: true,
+            stats_v1: false,
         };
         let r = run(&cfg, None);
         assert!(
@@ -502,6 +518,11 @@ mod tests {
         // The table sampler pass and the measurement-path rate ride along:
         // one aggregate each plus per-cell entries.
         assert!(json.contains("\"sampler_mode\": \"exact\""));
+        // The statistics mode and the host-phase caveat ride in the
+        // aggregate block.
+        assert!(json.contains("\"stats_mode\": \"v2\""));
+        assert_eq!(json.matches("\"host_phase_note\":").count(), 1);
+        assert!(json.contains("compare ratios"));
         assert_eq!(json.matches("\"table_events_per_sec\":").count(), 8);
         assert_eq!(json.matches("\"table_serial_events_per_sec\":").count(), 1);
         assert_eq!(json.matches("\"table_serial_wall_s\":").count(), 1);

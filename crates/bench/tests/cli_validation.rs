@@ -68,6 +68,56 @@ fn unknown_flags_and_artifacts_exit_2_with_usage() {
 }
 
 #[test]
+fn unknown_stats_flags_exit_2_with_usage() {
+    // `--stats-v1` is the only stats escape hatch; near-misses must be
+    // rejected loudly rather than silently measuring in the wrong mode.
+    assert_usage_rejection(&["digest", "--stats-v2"], "--stats-v2");
+    assert_usage_rejection(&["digest", "--stats-v0"], "--stats-v0");
+    assert_usage_rejection(&["digest", "--stats-legacy"], "--stats-legacy");
+    assert_usage_rejection(&["digest", "--stats-v1=1"], "--stats-v1=1");
+}
+
+#[test]
+fn stats_v1_parses_and_composes_with_other_escape_hatches() {
+    // `--stats-v1` must reach the harness alone and stacked with every
+    // other escape hatch (the legacy fold has to survive under the
+    // interpreter and per-sample recording too).
+    let alone = repro(&["digest", "--minutes", "0.02", "--quiet", "--stats-v1"]);
+    assert!(
+        alone.status.success(),
+        "--stats-v1 must run: {:?}\nstderr: {}",
+        alone.status.code(),
+        String::from_utf8_lossy(&alone.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&alone.stdout);
+    assert_eq!(
+        stdout.lines().count(),
+        8,
+        "digest emits one line per cell: {stdout}"
+    );
+    let stacked = repro(&[
+        "digest",
+        "--minutes",
+        "0.02",
+        "--quiet",
+        "--stats-v1",
+        "--no-batch-record",
+        "--no-compile",
+    ]);
+    assert!(
+        stacked.status.success(),
+        "--stats-v1 must compose with the other escape hatches: {:?}\nstderr: {}",
+        stacked.status.code(),
+        String::from_utf8_lossy(&stacked.stderr)
+    );
+    assert_eq!(
+        stdout,
+        String::from_utf8_lossy(&stacked.stdout),
+        "v1 statistics must digest identically under every escape hatch"
+    );
+}
+
+#[test]
 fn escape_hatches_parse_and_run() {
     // A tiny grid proves --no-batch-record / --no-compile reach the
     // harness rather than dying in the parser. Digest output goes to

@@ -19,6 +19,7 @@ fn grid_digests_at(minutes: f64, seed: u64, threads: usize, shards: usize) -> Ve
         compile: true,
         sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
         batch_record: true,
+        stats_v1: false,
     };
     let t = measure_all_timed(&cfg);
     assert_eq!(t.cells.nt.len(), 4, "NT cells in workload order");
@@ -81,6 +82,7 @@ fn tracing_leaves_the_grid_bit_identical() {
         compile: true,
         sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
         batch_record: true,
+        stats_v1: false,
     };
     let traced_cfg = RunConfig { trace: true, ..base };
     let plain = measure_all_timed(&base);
@@ -134,6 +136,7 @@ fn shard_count_changes_the_stream_but_not_the_window() {
         compile: true,
         sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
         batch_record: true,
+        stats_v1: false,
     };
     let sharded = RunConfig {
         shards: 2,
@@ -319,6 +322,7 @@ fn digests_are_sensitive_to_the_seed() {
         compile: true,
         sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
         batch_record: true,
+        stats_v1: false,
     };
     let t = measure_all_timed(&cfg);
     let b: Vec<String> = t

@@ -8,6 +8,26 @@
 
 use wdm_sim::time::Cycles;
 
+/// Exact cycle-domain accumulator for one clock-rate epoch.
+///
+/// Samples recorded while the clock runs at `cpu_hz` contribute their raw
+/// cycle counts to `sum_cycles`. Integer addition is associative and
+/// commutative, so the per-epoch sums — and every summary statistic
+/// derived from them — are independent of sample order, batch splits, and
+/// merge order (DESIGN.md §14). The ms conversion happens once per epoch
+/// at accessor time, never per sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateEpoch {
+    /// Clock rate the epoch's samples were recorded under.
+    pub cpu_hz: u64,
+    /// Exact sum of the epoch's samples, in cycles. `u128` gives orders of
+    /// magnitude of headroom over a simulated week at the highest
+    /// representable clock rate (see the overflow-audit test).
+    pub sum_cycles: u128,
+    /// Samples in the epoch.
+    pub count: u64,
+}
+
 /// The Figure 4 time axis: bin upper edges in milliseconds.
 ///
 /// Bin `i` covers `(EDGES[i-1], EDGES[i]]`; an underflow bin covers
@@ -26,7 +46,21 @@ pub struct LatencyHistogram {
     /// `(edges[i-1], edges[i]]`; last = overflow.
     counts: Vec<u64>,
     count: u64,
+    /// Stream-order f64 sum. v1 mode folds *every* sample's ms value here
+    /// (the legacy digest-pinned accumulator); v2 mode folds only
+    /// [`Self::record_ms`] samples — the cycle paths sum exactly in
+    /// `epochs` instead, and [`Self::mean_ms`] combines the two.
     sum_ms: f64,
+    /// Exact per-clock-rate cycle sums (v2), kept sorted by `cpu_hz` so
+    /// the accessor-time fold order is canonical regardless of the order
+    /// rates were first seen. Empty in v1 mode.
+    epochs: Vec<RateEpoch>,
+    /// Index into `epochs` for the current `cycles_hz` (v2); refreshed at
+    /// every rate change and merge so the hot paths index directly.
+    cur_epoch: usize,
+    /// Snapshot of [`crate::stats::stats_v1`] at construction: `true` runs
+    /// the legacy stream-order accumulator.
+    stats_v1: bool,
     /// Extremes folded to ms: samples from [`Self::record_ms`], plus any
     /// cycle-domain extremes folded in at a clock-rate change or merge.
     max_ms: f64,
@@ -91,13 +125,31 @@ fn fig4_bin(ms: f64) -> usize {
 }
 
 impl LatencyHistogram {
-    /// Creates a histogram over the Figure 4 axis.
+    /// Creates a histogram over the Figure 4 axis, in the process-wide
+    /// statistics mode (see [`crate::stats`]).
     pub fn fig4() -> LatencyHistogram {
         LatencyHistogram::with_edges(&FIG4_EDGES_MS)
     }
 
-    /// Creates a histogram with custom bin edges (ms, strictly increasing).
+    /// Creates a Figure 4 histogram forced to the legacy v1 stream-order
+    /// accumulator, regardless of the process-wide mode. For tests and
+    /// compatibility oracles; production code follows the global switch.
+    pub fn fig4_v1() -> LatencyHistogram {
+        LatencyHistogram::with_edges_v1(&FIG4_EDGES_MS)
+    }
+
+    /// Creates a histogram with custom bin edges (ms, strictly
+    /// increasing), in the process-wide statistics mode.
     pub fn with_edges(edges_ms: &[f64]) -> LatencyHistogram {
+        LatencyHistogram::with_edges_mode(edges_ms, crate::stats::stats_v1())
+    }
+
+    /// [`Self::with_edges`] forced to the legacy v1 accumulator.
+    pub fn with_edges_v1(edges_ms: &[f64]) -> LatencyHistogram {
+        LatencyHistogram::with_edges_mode(edges_ms, true)
+    }
+
+    fn with_edges_mode(edges_ms: &[f64], stats_v1: bool) -> LatencyHistogram {
         assert!(!edges_ms.is_empty(), "need at least one bin edge");
         assert!(
             edges_ms.windows(2).all(|w| w[0] < w[1]),
@@ -126,6 +178,9 @@ impl LatencyHistogram {
             counts: vec![0; edges_ms.len() + 1],
             count: 0,
             sum_ms: 0.0,
+            epochs: Vec::new(),
+            cur_epoch: 0,
+            stats_v1,
             max_ms: 0.0,
             min_ms: f64::INFINITY,
             max_c: 0,
@@ -165,14 +220,17 @@ impl LatencyHistogram {
     /// with a pure `u64` comparison against precomputed cycle edges and
     /// tracking max/min as raw cycle counts.
     ///
-    /// `sum_ms` still accumulates the ms conversion sample-by-sample —
-    /// float addition is order-sensitive and the resulting bits are
-    /// digest-pinned, so the summation cannot be deferred. Max/min *can*
-    /// be: `Cycles::as_ms_at` is weakly monotone, so converting the cycle
-    /// extremes at fold time yields bit-identical results to
-    /// [`Self::record_ms`]`(c.as_ms_at(cpu_hz))` per sample. The
-    /// equivalence argument is in DESIGN.md §12 and enforced by the
-    /// `binning_oracle` proptest.
+    /// v2 (the default) sums the raw cycle count into the rate's
+    /// [`RateEpoch`] — an exact `u128` addition, deferring the ms
+    /// conversion to accessor time — so the whole record path is integer
+    /// and order-independent. v1 accumulates the per-sample f64 ms
+    /// conversion in stream order (the legacy digest-pinned behavior kept
+    /// behind `--stats-v1`). Max/min defer in both modes: `Cycles::as_ms_at`
+    /// is weakly monotone, so converting the cycle extremes at fold time
+    /// yields bit-identical results to [`Self::record_ms`]
+    /// `(c.as_ms_at(cpu_hz))` per sample. The equivalence arguments are in
+    /// DESIGN.md §12/§14 and enforced by the `binning_oracle` and
+    /// `stats_order_invariance` proptests.
     #[inline]
     pub fn record_cycles(&mut self, c: Cycles, cpu_hz: u64) {
         if self.cycles_hz != cpu_hz {
@@ -180,22 +238,18 @@ impl LatencyHistogram {
             // the rate switches underneath them.
             self.fold_cycle_extremes();
             self.build_cycle_edges(cpu_hz);
+            if !self.stats_v1 {
+                self.cur_epoch = self.epoch_index(cpu_hz);
+            }
         }
-        // Binade lookup, then a scan of the edges sharing the sample's bit
-        // length — equivalent to `partition_point(|&ce| ce <= c.0)` over
-        // the full edge list (every smaller-binade edge is <= c, every
-        // larger-binade edge is > c). For the Figure 4 axis the edges
-        // double, so the scan is at most one comparison.
-        let b = (64 - c.0.leading_zeros()) as usize;
-        let lo = self.binade_start[b] as usize;
-        let hi = self.binade_start[b + 1] as usize;
-        let mut idx = lo;
-        for &ce in &self.edges_cycles[lo..hi] {
-            idx += usize::from(ce <= c.0);
-        }
+        let idx = cycle_bin(&self.binade_start, &self.edges_cycles, c.0);
         self.counts[idx] += 1;
         self.count += 1;
-        self.sum_ms += c.as_ms_at(cpu_hz);
+        if self.stats_v1 {
+            self.sum_ms += c.as_ms_at(cpu_hz);
+        } else {
+            self.epoch_add(c.0 as u128, 1);
+        }
         if c.0 > self.max_c {
             self.max_c = c.0;
         }
@@ -206,13 +260,14 @@ impl LatencyHistogram {
         self.fast_bin_samples += 1;
     }
 
-    /// Folds a dense batch of cycle samples recorded at one clock rate, in
-    /// stream order. Bit-identical to calling [`Self::record_cycles`] once
-    /// per element: the rate check and binade table lookup setup are
-    /// hoisted out of the loop, the extremes run as register-resident
-    /// `u64`s, and `sum_ms` accumulates the per-sample ms conversions in
-    /// the exact same order (float addition is order-sensitive and the
-    /// resulting bits are digest-pinned; see DESIGN.md §13).
+    /// Folds a dense batch of cycle samples recorded at one clock rate.
+    /// Bit-identical to calling [`Self::record_cycles`] once per element —
+    /// in v2 even for a *permuted* batch, since every accumulator is an
+    /// associative integer op (DESIGN.md §14): the fold runs branch-light
+    /// 8-wide chunks over the column with register-resident `u64` extremes
+    /// and a single `u128` epoch-sum update per batch. v1 preserves the
+    /// legacy stream-order loop exactly (its per-sample f64 ms additions
+    /// are digest-pinned; DESIGN.md §13).
     pub fn record_cycles_batch(&mut self, cycles: &[u64], cpu_hz: u64) {
         if cycles.is_empty() {
             return;
@@ -220,33 +275,111 @@ impl LatencyHistogram {
         if self.cycles_hz != cpu_hz {
             self.fold_cycle_extremes();
             self.build_cycle_edges(cpu_hz);
+            if !self.stats_v1 {
+                self.cur_epoch = self.epoch_index(cpu_hz);
+            }
         }
         let mut max_c = self.max_c;
         let mut min_c = self.min_c;
-        let mut sum_ms = self.sum_ms;
-        for &c in cycles {
-            let b = (64 - c.leading_zeros()) as usize;
-            let lo = self.binade_start[b] as usize;
-            let hi = self.binade_start[b + 1] as usize;
-            let mut idx = lo;
-            for &ce in &self.edges_cycles[lo..hi] {
-                idx += usize::from(ce <= c);
+        if self.stats_v1 {
+            let mut sum_ms = self.sum_ms;
+            for &c in cycles {
+                let idx = cycle_bin(&self.binade_start, &self.edges_cycles, c);
+                self.counts[idx] += 1;
+                sum_ms += Cycles(c).as_ms_at(cpu_hz);
+                if c > max_c {
+                    max_c = c;
+                }
+                if c < min_c {
+                    min_c = c;
+                }
             }
-            self.counts[idx] += 1;
-            sum_ms += Cycles(c).as_ms_at(cpu_hz);
-            if c > max_c {
-                max_c = c;
+            self.sum_ms = sum_ms;
+        } else {
+            // Pure integer fold, split into two passes over the column so
+            // neither fights the other for execution ports: the first is a
+            // branch-free min/max/sum reduction the compiler can vectorize
+            // (the u128 widening only happens once per 8-lane chunk, off
+            // the lane-local u64 carry chain), the second is binning only.
+            // Staged batches are ~1 KiB columns, so the second pass reads
+            // L1-resident data; order-independence of every accumulator
+            // (DESIGN.md §14) is what makes the split legal at all.
+            let mut sum_c: u128 = 0;
+            let mut chunks = cycles.chunks_exact(8);
+            for ch in &mut chunks {
+                let mut lane: u64 = 0;
+                let mut carry: u128 = 0;
+                for &c in ch {
+                    max_c = max_c.max(c);
+                    min_c = min_c.min(c);
+                    let (s, o) = lane.overflowing_add(c);
+                    lane = s;
+                    carry += (o as u128) << 64;
+                }
+                sum_c += lane as u128 + carry;
             }
-            if c < min_c {
-                min_c = c;
+            for &c in chunks.remainder() {
+                max_c = max_c.max(c);
+                min_c = min_c.min(c);
+                sum_c += c as u128;
             }
+            let mut idx_chunks = cycles.chunks_exact(8);
+            for ch in &mut idx_chunks {
+                let mut idx = [0usize; 8];
+                for (k, &c) in ch.iter().enumerate() {
+                    idx[k] = cycle_bin(&self.binade_start, &self.edges_cycles, c);
+                }
+                for &i in &idx {
+                    self.counts[i] += 1;
+                }
+            }
+            for &c in idx_chunks.remainder() {
+                let idx = cycle_bin(&self.binade_start, &self.edges_cycles, c);
+                self.counts[idx] += 1;
+            }
+            self.epoch_add(sum_c, cycles.len() as u64);
         }
-        self.sum_ms = sum_ms;
         self.max_c = max_c;
         self.min_c = min_c;
         self.count += cycles.len() as u64;
         self.fast_bin_samples += cycles.len() as u64;
         self.cyc_pending = true;
+    }
+
+    /// Finds (or inserts, keeping the vec sorted by rate) the epoch for
+    /// `cpu_hz`, returning its index. Sorted order makes the accessor-time
+    /// fold canonical no matter the order rates were first seen in.
+    fn epoch_index(&mut self, cpu_hz: u64) -> usize {
+        match self.epochs.binary_search_by_key(&cpu_hz, |e| e.cpu_hz) {
+            Ok(i) => i,
+            Err(i) => {
+                self.epochs.insert(
+                    i,
+                    RateEpoch {
+                        cpu_hz,
+                        sum_cycles: 0,
+                        count: 0,
+                    },
+                );
+                i
+            }
+        }
+    }
+
+    /// Adds exact cycle-domain samples to the epoch for the current clock
+    /// rate (v2 only). `cur_epoch` is normally kept fresh by the
+    /// rate-change branches, but it is re-derived here when stale — after
+    /// a merge shifted indices, or when no rate-change branch ever ran
+    /// (the degenerate first-call-at-rate-zero case).
+    #[inline]
+    fn epoch_add(&mut self, sum_cycles: u128, count: u64) {
+        let hz = self.cycles_hz;
+        if !matches!(self.epochs.get(self.cur_epoch), Some(e) if e.cpu_hz == hz) {
+            self.cur_epoch = self.epoch_index(hz);
+        }
+        let e = &mut self.epochs[self.cur_epoch];
+        e.sum_cycles += sum_cycles;
+        e.count += count;
     }
 
     /// Folds the pending cycle-domain extremes into the ms fields at the
@@ -326,12 +459,32 @@ impl LatencyHistogram {
     }
 
     /// Mean (ms), 0 if empty.
+    ///
+    /// v2 folds the exact per-epoch cycle sums to ms *here* — one
+    /// multiply-divide per epoch, in canonical ascending-rate order — and
+    /// combines them with the float-path `sum_ms`. For a histogram fed only
+    /// through the cycle paths `sum_ms` is exactly `0.0` and `0.0 + x == x`
+    /// bit-for-bit (x is never `-0.0`), so the mean depends only on the
+    /// integer epoch state: permutation- and merge-order-independent. v1
+    /// histograms have empty `epochs`, so the fold degenerates to the
+    /// legacy `sum_ms / count`.
     pub fn mean_ms(&self) -> f64 {
         if self.count == 0 {
-            0.0
-        } else {
-            self.sum_ms / self.count as f64
+            return 0.0;
         }
+        let mut sum = self.sum_ms;
+        for e in &self.epochs {
+            // Same formula as `Cycles::as_ms_at`, widened to the epoch sum.
+            sum += e.sum_cycles as f64 * 1e3 / e.cpu_hz as f64;
+        }
+        sum / self.count as f64
+    }
+
+    /// Exact per-clock-rate cycle sums (the v2 accumulator state), sorted
+    /// by rate. Empty for v1 histograms and for histograms fed only
+    /// through [`Self::record_ms`].
+    pub fn rate_epochs(&self) -> &[RateEpoch] {
+        &self.epochs
     }
 
     /// Bin edges (ms).
@@ -436,7 +589,19 @@ impl LatencyHistogram {
             *a += b;
         }
         self.count += other.count;
+        // Float-path samples still merge as an f64 sum; the cycle paths
+        // merge through the epochs below — exact u128 additions per rate,
+        // so the cycle-domain mean no longer depends on merge order (the
+        // old `sum_ms += other.sum_ms` carried the cycle sums too, and a
+        // different shard order meant different last-ulp bits).
         self.sum_ms += other.sum_ms;
+        for oe in &other.epochs {
+            let i = self.epoch_index(oe.cpu_hz);
+            self.epochs[i].sum_cycles += oe.sum_cycles;
+            self.epochs[i].count += oe.count;
+        }
+        // Insertions may have shifted `cur_epoch`; the record paths
+        // re-validate it against `cycles_hz` before use, so no fixup here.
         // Fold our pending cycle extremes, then take `other`'s through its
         // accessors (which fold read-only); `other.max_ms()` is 0 when
         // empty, matching the field's identity, and `min_ms()`'s empty
@@ -448,6 +613,25 @@ impl LatencyHistogram {
         }
         self.fast_bin_samples += other.fast_bin_samples;
     }
+}
+
+/// Bin index for a cycle sample: binade lookup, then a scan of the edges
+/// sharing the sample's bit length — equivalent to
+/// `partition_point(|&ce| ce <= c)` over the full edge list (every
+/// smaller-binade edge is <= c, every larger-binade edge is > c). For the
+/// Figure 4 axis the edges double, so the scan is at most one comparison.
+/// A free function (not a method) so the batch fold can call it while
+/// `counts` is mutably borrowed.
+#[inline]
+fn cycle_bin(binade_start: &[u32; 66], edges_cycles: &[u64], c: u64) -> usize {
+    let b = (64 - c.leading_zeros()) as usize;
+    let lo = binade_start[b] as usize;
+    let hi = binade_start[b + 1] as usize;
+    let mut idx = lo;
+    for &ce in &edges_cycles[lo..hi] {
+        idx += usize::from(ce <= c);
+    }
+    idx
 }
 
 /// The smallest cycle count whose ms conversion at `cpu_hz` exceeds
@@ -779,14 +963,9 @@ mod tests {
         assert_eq!(h.counts(), &[2, 1]);
     }
 
-    #[test]
-    fn record_cycles_is_bit_identical_to_ms_path_on_a_dense_sweep() {
-        // Integer binning plus the summary stats must match recording the
-        // converted ms value sample-for-sample, on and around every cycle
-        // count corresponding to a bin edge.
-        let cpu_hz = 300_000_000u64;
-        let mut fast = LatencyHistogram::fig4();
-        let mut slow = LatencyHistogram::fig4();
+    /// The edge-dense cycle sample sweep shared by the path-equivalence
+    /// tests below.
+    fn dense_sweep(cpu_hz: u64) -> Vec<u64> {
         let mut samples: Vec<u64> = vec![0, 1, 2, 17, u64::MAX / 2, u64::MAX];
         for &e in &FIG4_EDGES_MS {
             let c = (e * cpu_hz as f64 / 1e3) as u64;
@@ -797,6 +976,19 @@ mod tests {
             samples.push(c);
             c = c * 5 / 3 + 1;
         }
+        samples
+    }
+
+    #[test]
+    fn record_cycles_is_bit_identical_to_ms_path_on_a_dense_sweep_v1() {
+        // The legacy v1 accumulator: integer binning plus the summary
+        // stats must match recording the converted ms value
+        // sample-for-sample, on and around every cycle count
+        // corresponding to a bin edge.
+        let cpu_hz = 300_000_000u64;
+        let mut fast = LatencyHistogram::fig4_v1();
+        let mut slow = LatencyHistogram::fig4_v1();
+        let samples = dense_sweep(cpu_hz);
         for &c in &samples {
             fast.record_cycles(Cycles(c), cpu_hz);
             slow.record_ms(Cycles(c).as_ms_at(cpu_hz));
@@ -808,6 +1000,131 @@ mod tests {
         assert_eq!(fast.mean_ms().to_bits(), slow.mean_ms().to_bits());
         assert_eq!(fast.fast_bin_samples(), samples.len() as u64);
         assert_eq!(slow.fast_bin_samples(), 0);
+        assert!(fast.rate_epochs().is_empty(), "v1 must not build epochs");
+    }
+
+    #[test]
+    fn v2_matches_ms_path_except_the_deferred_mean() {
+        // The v2 accumulator: bins, counts, and extremes stay bit-identical
+        // to the ms path (those are order-free in both modes); the mean is
+        // computed from the exact epoch sum and must equal the reference
+        // u128 fold exactly, and agree with the stream-order f64 mean to
+        // within relative rounding slack (last-ulp drift is the documented
+        // v1→v2 difference).
+        let cpu_hz = 300_000_000u64;
+        let mut fast = LatencyHistogram::fig4();
+        let mut slow = LatencyHistogram::fig4();
+        let samples = dense_sweep(cpu_hz);
+        let mut ref_sum: u128 = 0;
+        for &c in &samples {
+            fast.record_cycles(Cycles(c), cpu_hz);
+            slow.record_ms(Cycles(c).as_ms_at(cpu_hz));
+            ref_sum += c as u128;
+        }
+        assert_eq!(fast.counts(), slow.counts());
+        assert_eq!(fast.count(), slow.count());
+        assert_eq!(fast.max_ms().to_bits(), slow.max_ms().to_bits());
+        assert_eq!(fast.min_ms().to_bits(), slow.min_ms().to_bits());
+        let epochs = fast.rate_epochs();
+        assert_eq!(epochs.len(), 1);
+        assert_eq!(epochs[0].cpu_hz, cpu_hz);
+        assert_eq!(epochs[0].sum_cycles, ref_sum, "epoch sum must be exact");
+        assert_eq!(epochs[0].count, samples.len() as u64);
+        let expected_mean =
+            ref_sum as f64 * 1e3 / cpu_hz as f64 / samples.len() as f64;
+        assert_eq!(fast.mean_ms().to_bits(), expected_mean.to_bits());
+        let rel = (fast.mean_ms() - slow.mean_ms()).abs() / slow.mean_ms();
+        assert!(rel < 1e-9, "v2 vs stream-order mean drift {rel}");
+    }
+
+    #[test]
+    fn v2_batch_fold_is_bit_identical_under_permutation() {
+        // The 8-wide batch fold, a per-sample loop, and any permutation of
+        // either must leave identical state: every v2 accumulator is an
+        // associative, commutative integer op.
+        let cpu_hz = 300_000_000u64;
+        let samples = dense_sweep(cpu_hz);
+        let mut reversed = samples.clone();
+        reversed.reverse();
+        let mut batched = LatencyHistogram::fig4();
+        batched.record_cycles_batch(&samples, cpu_hz);
+        let mut rev_batched = LatencyHistogram::fig4();
+        rev_batched.record_cycles_batch(&reversed, cpu_hz);
+        let mut streamed = LatencyHistogram::fig4();
+        for &c in &reversed {
+            streamed.record_cycles(Cycles(c), cpu_hz);
+        }
+        for other in [&rev_batched, &streamed] {
+            assert_eq!(batched.counts(), other.counts());
+            assert_eq!(batched.count(), other.count());
+            assert_eq!(batched.rate_epochs(), other.rate_epochs());
+            assert_eq!(batched.max_ms().to_bits(), other.max_ms().to_bits());
+            assert_eq!(batched.min_ms().to_bits(), other.min_ms().to_bits());
+            assert_eq!(batched.mean_ms().to_bits(), other.mean_ms().to_bits());
+        }
+    }
+
+    #[test]
+    fn v2_merge_is_order_independent_across_rate_epochs() {
+        // Three shards recorded at two different clock rates, merged in
+        // every order (including into an empty receiver), must produce
+        // bit-identical summaries and identical epoch state.
+        let shards: [(&[u64], u64); 3] = [
+            (&[100, 2_000_000, 17], 300_000_000),
+            (&[5, 900_000], 600_000_000),
+            (&[u64::MAX, 0, 42], 300_000_000),
+        ];
+        let build = |order: &[usize]| {
+            let mut acc = LatencyHistogram::fig4();
+            for &i in order {
+                let (cs, hz) = shards[i];
+                let mut h = LatencyHistogram::fig4();
+                h.record_cycles_batch(cs, hz);
+                acc.merge(&h);
+            }
+            acc
+        };
+        let a = build(&[0, 1, 2]);
+        for order in [[0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+            let b = build(&order);
+            assert_eq!(a.counts(), b.counts(), "{order:?}");
+            assert_eq!(a.rate_epochs(), b.rate_epochs(), "{order:?}");
+            assert_eq!(a.mean_ms().to_bits(), b.mean_ms().to_bits(), "{order:?}");
+            assert_eq!(a.max_ms().to_bits(), b.max_ms().to_bits(), "{order:?}");
+            assert_eq!(a.min_ms().to_bits(), b.min_ms().to_bits(), "{order:?}");
+        }
+        // Merging shifts epoch indices; recording afterward must still land
+        // in the right epoch (cur_epoch re-validation).
+        let mut acc = build(&[1, 0, 2]);
+        acc.record_cycles(Cycles(7), 600_000_000);
+        let e = acc
+            .rate_epochs()
+            .iter()
+            .find(|e| e.cpu_hz == 600_000_000)
+            .expect("600 MHz epoch");
+        assert_eq!(e.count, 3);
+        assert_eq!(e.sum_cycles, 5 + 900_000 + 7);
+    }
+
+    #[test]
+    fn epoch_sums_cannot_saturate_within_a_simulated_week() {
+        // Overflow audit for the u128 epoch sums: a week of samples at an
+        // absurd ceiling — 10^9 samples/s, every sample the maximum
+        // representable u64 cycle count — stays orders of magnitude below
+        // u128::MAX, so the unchecked `+=` on the record path can never
+        // wrap in any realistic (or unrealistic) run.
+        const WEEK_S: u128 = 7 * 24 * 60 * 60;
+        const SAMPLES_PER_S: u128 = 1_000_000_000;
+        let worst_week = WEEK_S
+            .checked_mul(SAMPLES_PER_S)
+            .and_then(|n| n.checked_mul(u64::MAX as u128))
+            .expect("worst-case week must be representable");
+        assert!(
+            worst_week < u128::MAX / 1000,
+            "need >=3 orders of magnitude headroom, got {worst_week:e}"
+        );
+        // And the count field: u64 holds ~584 years of 10^9/s samples.
+        assert!((WEEK_S * SAMPLES_PER_S) < u64::MAX as u128);
     }
 
     #[test]

@@ -68,8 +68,9 @@ impl Observer for LegacyRecords {
             return;
         }
         self.last_pit = Some((e.asserted, e.started));
-        // Cycle-domain end to end: no cycles -> ms -> cycles round trip
-        // (the series re-derives ms lazily; DESIGN.md §12).
+        // Cycle-domain end to end: no cycles -> ms -> cycles round trip.
+        // Binning re-derives ms lazily (DESIGN.md §12) and the v2 sums
+        // stay exact integers until the accessor converts them (§14).
         self.int_latency.record_cycles(e.started, e.started - e.asserted);
     }
 

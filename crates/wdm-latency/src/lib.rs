@@ -29,6 +29,7 @@ pub mod profiler;
 pub mod report;
 pub mod session;
 pub mod stage;
+pub mod stats;
 pub mod tool;
 pub mod worstcase;
 
@@ -40,5 +41,6 @@ pub use profiler::Profiler;
 pub use histogram::LatencyHistogram;
 pub use session::{measure_scenario, ScenarioMeasurement};
 pub use stage::SampleStage;
+pub use stats::{set_stats_v1, stats_v1};
 pub use tool::{LatencyTool, MeasurementSession, ToolResults, TruthCollector};
 pub use worstcase::{worst_cases, LatencySeries, WorstCases};

@@ -32,8 +32,10 @@ const LABEL_STAGE_CAPACITY: usize = 1024;
 /// The sampling hook stages raw label ids and the flush drains them into a
 /// dense `Vec<u64>` indexed by label id — labels are interned small dense
 /// integers, so the profile needs neither hashing per sample nor a map
-/// walk per report. Sample counts are pure sums, so staging commutes:
-/// the flushed profile is identical to counting per sample.
+/// walk per report. Sample counts are pure sums — associative and
+/// commutative like every v2 measurement accumulator (DESIGN.md §14) —
+/// so staging commutes: the flushed profile is identical to counting per
+/// sample, in any order.
 pub struct Profiler {
     vector: VectorId,
     /// Staged interrupted-label ids, drained at capacity and on read.

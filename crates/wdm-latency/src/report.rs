@@ -10,7 +10,10 @@ use crate::{
 };
 
 /// Renders a Figure 4 style series: one line per bin with the percentage
-/// of samples, log-log friendly.
+/// of samples, log-log friendly. The `mean` here is the first place the
+/// v2 exact cycle sums meet a float: `mean_ms` folds the per-rate-epoch
+/// `u128` sums at accessor time (DESIGN.md §14), so the rendered value is
+/// identical no matter what order the samples arrived in.
 pub fn render_distribution(name: &str, h: &LatencyHistogram) -> String {
     let mut out = format!(
         "{name}  (n = {}, min = {:.4} ms, mean = {:.4} ms, max = {:.3} ms)\n",

@@ -152,6 +152,51 @@ impl ScenarioMeasurement {
         acc
     }
 
+    /// Merges a *closed* shard covering the cell window that starts
+    /// `offset_minutes` into this one, in **any arrival order** — the v2
+    /// completion-order assembly (DESIGN.md §14). Every fold commutes:
+    /// histograms add bin-wise with exact epoch sums, block maxima slot
+    /// into their absolute minutes ([`LatencySeries::merge_at`]), counters
+    /// and metrics sum.
+    ///
+    /// Two fields deliberately do **not** merge here because they are
+    /// positional or order-sensitive, and are left to the assembler:
+    /// `collected_hours` (the caller re-folds shard hours in index order
+    /// so the f64 bits match the sequential merge exactly) and the
+    /// episode/trace payloads, which are returned for slotting by shard
+    /// index.
+    pub fn merge_shard_at(
+        &mut self,
+        offset_minutes: usize,
+        other: ScenarioMeasurement,
+    ) -> (Vec<String>, Vec<String>) {
+        assert_eq!(self.os, other.os, "shards must share the OS");
+        assert_eq!(self.workload, other.workload, "shards must share the workload");
+        let mut o = other;
+        for (a, b) in self.series_mut().into_iter().zip(o.series_mut()) {
+            a.merge_at(offset_minutes, b);
+        }
+        self.ops_completed += o.ops_completed;
+        self.account.absorb(&o.account);
+        self.waits_24 += o.waits_24;
+        self.waits_28 += o.waits_28;
+        self.sim_events += o.sim_events;
+        self.steps_executed += o.steps_executed;
+        self.step_dispatches += o.step_dispatches;
+        self.metrics.merge_from(&o.metrics);
+        (o.episodes, o.trace_events)
+    }
+
+    /// Shifts every series' completed blocks `offset_minutes` later in the
+    /// cell timeline — used by the completion-order assembler when the
+    /// first shard to finish is not shard 0 and becomes the accumulator.
+    /// The shard must be closed ([`Self::close_blocks`]).
+    pub fn shift_blocks(&mut self, offset_minutes: usize) {
+        for s in self.series_mut() {
+            s.shift_blocks(offset_minutes);
+        }
+    }
+
     /// Total latency samples recorded across every series — the
     /// denominator-free measurement volume the bench harness reports as
     /// `measure_events_per_sec`.

@@ -3,17 +3,21 @@
 //! Observers on the measurement hot path do not fold each latency sample
 //! into its [`LatencySeries`] as it arrives; they append a raw
 //! `(now_cycles, latency_cycles, series_id)` triple to a [`SampleStage`]
-//! and fold whole batches at flush time. The flush stably partitions the
-//! columns by series id (a counting sort into fixed scratch columns) and
-//! hands each series one dense run, which it folds with the hoisted-check
-//! batch loops in [`crate::histogram`] and [`crate::worstcase`].
+//! and fold whole batches at flush time. The flush partitions the columns
+//! by series id (a counting sort into fixed scratch columns) and hands
+//! each series one dense run, which it folds with the hoisted-check batch
+//! loops in [`crate::histogram`] and [`crate::worstcase`].
 //!
-//! Digest contract (DESIGN.md §13): per-series sample order is all that
-//! matters — `sum_ms` folds in stream order within each series, bin counts
-//! and `u64` extremes commute with batching, and block-maxima boundaries
-//! are walked exactly inside the batch fold — so staged recording is
-//! bit-identical to per-sample recording. The `batch_record_equivalence`
-//! proptest oracle enforces this.
+//! Digest contract: under the v2 exact accumulators (DESIGN.md §14) every
+//! per-series fold is associative and commutative — integer bin counts,
+//! `u64` extremes, `u128` epoch sums, per-block maxima — so the partition
+//! does **not** need to preserve arrival order; the scatter runs end-first
+//! (provably unordered: each run comes out reversed) and staged recording
+//! is still bit-identical to per-sample recording. Under `--stats-v1` the
+//! legacy digest contract applies (DESIGN.md §13): `sum_ms` folds in
+//! stream order within each series, so the partition falls back to the
+//! stable forward scatter. The `batch_record_equivalence` and
+//! `stats_order_invariance` proptest oracles enforce both.
 //!
 //! Flush points: capacity (the columns never reallocate in steady state),
 //! a minute-block boundary (keeps batches inside one block so the
@@ -53,6 +57,10 @@ pub struct SampleStage {
     /// Per-series run start within the partitioned scratch (prefix sums of
     /// `counts`); doubles as the scatter cursor during partitioning.
     starts: Vec<u32>,
+    /// Snapshot of [`crate::stats::stats_v1`] at construction: `true`
+    /// selects the stable (order-preserving) partition the legacy
+    /// accumulator requires.
+    stats_v1: bool,
     /// One minute in cycles — the block-boundary flush trigger. 0 disables
     /// the boundary trigger (stages that feed block-free sinks).
     block_len: u64,
@@ -74,6 +82,16 @@ impl SampleStage {
 
     /// Creates a stage with an explicit soft capacity (tests).
     pub fn with_capacity(block_len: u64, capacity: usize) -> SampleStage {
+        SampleStage::with_capacity_mode(block_len, capacity, crate::stats::stats_v1())
+    }
+
+    /// [`Self::with_capacity`] forced to the legacy v1 stable partition,
+    /// for tests and compatibility oracles.
+    pub fn with_capacity_v1(block_len: u64, capacity: usize) -> SampleStage {
+        SampleStage::with_capacity_mode(block_len, capacity, true)
+    }
+
+    fn with_capacity_mode(block_len: u64, capacity: usize, stats_v1: bool) -> SampleStage {
         assert!(capacity > 0, "stage capacity must be positive");
         let cap = capacity + STAGE_SLACK;
         SampleStage {
@@ -85,6 +103,7 @@ impl SampleStage {
             part_lat: vec![0; cap],
             counts: Vec::new(),
             starts: Vec::new(),
+            stats_v1,
             block_len,
             cur_block_end: block_len,
             batch_flushes: 0,
@@ -105,7 +124,7 @@ impl SampleStage {
 
     /// Appends one raw sample. Returns `true` when the caller should
     /// flush: the soft capacity is reached or the sample crossed a
-    /// minute-block boundary. Up to [`STAGE_SLACK`] further pushes may
+    /// minute-block boundary. Up to `STAGE_SLACK` further pushes may
     /// follow a `true` before the flush actually happens.
     #[inline]
     pub fn push(&mut self, sid: u16, now: Instant, lat: Cycles) -> bool {
@@ -127,30 +146,52 @@ impl SampleStage {
         self.now.is_empty()
     }
 
-    /// Stably partitions the staged columns by series id into the scratch
-    /// columns (counting sort: count, prefix-sum, scatter). After this,
-    /// [`Self::run`] exposes each series' samples as one dense run in
-    /// arrival order. Call [`Self::reset`] once every run is folded.
+    /// Partitions the staged columns by series id into the scratch
+    /// columns. After this, [`Self::run`] exposes each series' samples as
+    /// one dense run. Call [`Self::reset`] once every run is folded.
+    ///
+    /// v2 scatters **end-first**: the prefix sums are run *end* positions
+    /// and each sample decrements its cursor before storing, so the
+    /// cursors land exactly on the run starts with no rewind pass — and
+    /// each run comes out in reversed arrival order, which the
+    /// order-independent v2 folds are free to accept (DESIGN.md §14). v1
+    /// keeps the stable forward scatter (count, prefix-sum, scatter,
+    /// rewind) that its stream-order `sum_ms` fold requires.
     pub fn partition(&mut self) {
         self.counts.fill(0);
         for &s in &self.sid {
             self.counts[s as usize] += 1;
         }
-        let mut acc = 0u32;
-        for (start, &count) in self.starts.iter_mut().zip(&self.counts) {
-            *start = acc;
-            acc += count;
-        }
-        for k in 0..self.now.len() {
-            let s = self.sid[k] as usize;
-            let dst = self.starts[s] as usize;
-            self.part_now[dst] = self.now[k];
-            self.part_lat[dst] = self.lat[k];
-            self.starts[s] += 1;
-        }
-        // The scatter advanced each cursor past its run; rewind to starts.
-        for (start, &count) in self.starts.iter_mut().zip(&self.counts) {
-            *start -= count;
+        if self.stats_v1 {
+            let mut acc = 0u32;
+            for (start, &count) in self.starts.iter_mut().zip(&self.counts) {
+                *start = acc;
+                acc += count;
+            }
+            for k in 0..self.now.len() {
+                let s = self.sid[k] as usize;
+                let dst = self.starts[s] as usize;
+                self.part_now[dst] = self.now[k];
+                self.part_lat[dst] = self.lat[k];
+                self.starts[s] += 1;
+            }
+            // The scatter advanced each cursor past its run; rewind.
+            for (start, &count) in self.starts.iter_mut().zip(&self.counts) {
+                *start -= count;
+            }
+        } else {
+            let mut acc = 0u32;
+            for (end, &count) in self.starts.iter_mut().zip(&self.counts) {
+                acc += count;
+                *end = acc;
+            }
+            for k in 0..self.now.len() {
+                let s = self.sid[k] as usize;
+                self.starts[s] -= 1;
+                let dst = self.starts[s] as usize;
+                self.part_now[dst] = self.now[k];
+                self.part_lat[dst] = self.lat[k];
+            }
         }
     }
 
@@ -196,9 +237,8 @@ impl SampleStage {
 mod tests {
     use super::*;
 
-    #[test]
-    fn partition_is_a_stable_per_series_sort() {
-        let mut st = SampleStage::with_capacity(0, 16);
+    /// Stages the shared five-sample, three-series fixture.
+    fn stage_fixture(st: &mut SampleStage) -> (u16, u16) {
         let a = st.register_series(1);
         let b = st.register_series(2); // Two-series block.
         st.push(a, Instant(1), Cycles(10));
@@ -206,6 +246,13 @@ mod tests {
         st.push(a, Instant(3), Cycles(30));
         st.push(b, Instant(4), Cycles(40));
         st.push(a, Instant(5), Cycles(50));
+        (a, b)
+    }
+
+    #[test]
+    fn v1_partition_is_a_stable_per_series_sort() {
+        let mut st = SampleStage::with_capacity_v1(0, 16);
+        let (a, b) = stage_fixture(&mut st);
         st.partition();
         assert_eq!(st.run(a), (&[1u64, 3, 5][..], &[10u64, 30, 50][..]));
         assert_eq!(st.run(b), (&[4u64][..], &[40u64][..]));
@@ -214,6 +261,51 @@ mod tests {
         assert!(st.is_empty());
         assert_eq!(st.batch_flushes(), 1);
         assert_eq!(st.staged_samples(), 5);
+    }
+
+    #[test]
+    fn v2_partition_yields_dense_unordered_runs() {
+        // The end-first scatter reverses each run — asserted here exactly
+        // so a silent change back to a (slower) stable sort is caught —
+        // and the run *contents* per series are what matters downstream.
+        let mut st = SampleStage::with_capacity(0, 16);
+        let (a, b) = stage_fixture(&mut st);
+        st.partition();
+        assert_eq!(st.run(a), (&[5u64, 3, 1][..], &[50u64, 30, 10][..]));
+        assert_eq!(st.run(b), (&[4u64][..], &[40u64][..]));
+        assert_eq!(st.run(b + 1), (&[2u64][..], &[20u64][..]));
+        st.reset();
+        assert!(st.is_empty());
+        assert_eq!(st.batch_flushes(), 1);
+        assert_eq!(st.staged_samples(), 5);
+    }
+
+    #[test]
+    fn v2_fold_of_unordered_runs_matches_per_sample_recording() {
+        // End-to-end through the stage: the reversed runs must fold to
+        // bit-identical series state vs recording each sample directly.
+        let cpu = 300_000_000u64;
+        let mut st = SampleStage::with_capacity(0, 16);
+        let s = st.register_series(1);
+        let samples = [(1u64, 700u64), (90_000_000, 12), (170_000_000, 9_000_000)];
+        let mut direct = LatencySeries::new("t", cpu);
+        for &(t, c) in &samples {
+            st.push(s, Instant(t), Cycles(c));
+            direct.record_cycles(Instant(t), Cycles(c));
+        }
+        st.partition();
+        let mut staged = LatencySeries::new("t", cpu);
+        st.fold_into(s, &mut staged);
+        assert_eq!(staged.hist.counts(), direct.hist.counts());
+        assert_eq!(staged.hist.rate_epochs(), direct.hist.rate_epochs());
+        assert_eq!(
+            staged.hist.mean_ms().to_bits(),
+            direct.hist.mean_ms().to_bits()
+        );
+        assert_eq!(
+            staged.hist.max_ms().to_bits(),
+            direct.hist.max_ms().to_bits()
+        );
     }
 
     #[test]

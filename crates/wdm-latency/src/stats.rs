@@ -1,0 +1,46 @@
+//! Process-wide statistics-mode switch: exact epoch sums (v2, the
+//! default) vs the legacy stream-order float sums (v1).
+//!
+//! The v2 accumulator (DESIGN.md §14) keeps every cycle-domain summary
+//! statistic as integers — `u128` cycle sums per clock-rate epoch — so
+//! summaries are associative and order-independent: permuting samples,
+//! batches, shards, or merge order produces bit-identical results. The v1
+//! accumulator folds a per-sample f64 ms conversion in stream order; it is
+//! kept reproducible for one release behind `repro --stats-v1` so the
+//! digest v1 baselines (`artifacts/CELL_digests_v1.txt`) stay verifiable.
+//!
+//! The mode is a process-global set **once, before any measurement
+//! construction** (the bench binary sets it while still single-threaded,
+//! before the worker pool spawns). Histograms snapshot the mode at
+//! construction, so a half-built grid can never mix accumulators; tests
+//! that need a specific mode use the explicit `*_v1` constructors on
+//! [`crate::histogram::LatencyHistogram`] instead of mutating the global
+//! (which would race across the test harness's threads).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static STATS_V1: AtomicBool = AtomicBool::new(false);
+
+/// Selects the legacy v1 stream-order accumulator process-wide. Call once
+/// at startup, before any histogram or series is constructed.
+pub fn set_stats_v1(on: bool) {
+    STATS_V1.store(on, Ordering::SeqCst);
+}
+
+/// True when the process runs the legacy v1 accumulator (`--stats-v1`).
+pub fn stats_v1() -> bool {
+    STATS_V1.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    // The global defaults to v2 and is never mutated by tests (mutating it
+    // here would race with every other test binning samples on another
+    // harness thread); mode-specific behavior is covered through the
+    // explicit v1 constructors in `histogram` and by the CLI integration
+    // tests, which exercise `--stats-v1` in a separate process.
+    #[test]
+    fn default_mode_is_v2() {
+        assert!(!super::stats_v1());
+    }
+}

@@ -55,7 +55,10 @@ pub struct ToolResults {
     /// series above in declaration order.
     stage: SampleStage,
     /// Batched recording on (the default). Off = the per-sample reference
-    /// path (`--no-batch-record`); bit-identical output either way.
+    /// path (`--no-batch-record`); bit-identical output either way — under
+    /// v2 because every series accumulator is order-free exact integer
+    /// state (DESIGN.md §14), under `--stats-v1` because the stage's
+    /// stable partition preserves stream order per series (§13).
     batch: bool,
 }
 

@@ -22,21 +22,35 @@ use crate::histogram::LatencyHistogram;
 /// Running per-block maxima of a timestamped latency series.
 ///
 /// Samples arrive in the ms domain ([`Self::record`]) or the cycle domain
-/// ([`Self::record_cycles`]); the running maximum is kept per domain and
-/// the domains are reconciled only when a block flushes. Because
-/// cycles→ms conversion is monotone, `max` commutes with it, so a pure
-/// cycle-domain stream flushes bit-identical block maxima to converting
-/// each sample up front (DESIGN.md §12).
+/// ([`Self::record_cycles`]); the running maximum of the *hot* block is
+/// kept per domain and the domains are reconciled only when the block
+/// completes. Because cycles→ms conversion is monotone, `max` commutes
+/// with it, so a pure cycle-domain stream produces bit-identical block
+/// maxima to converting each sample up front (DESIGN.md §12).
+///
+/// A block's value is determined only by the samples whose timestamps fall
+/// in it — `f64::max` is associative and commutative and `max(0.0, x) == x`
+/// for the non-negative samples here — so sample order is free: late
+/// samples for an already-completed block fold straight into its slot in
+/// `maxima`, producing exactly what streaming them in timestamp order
+/// would have (DESIGN.md §14). The hot-block cache only makes the common
+/// monotone stream cheap (two compares, no division).
 #[derive(Debug, Clone)]
 pub struct BlockMaxima {
     block_len: Cycles,
+    /// Start of the hot block: always `maxima.len() * block_len`, i.e. the
+    /// hot block is the one right after the completed prefix.
+    cur_start: Instant,
     cur_block_end: Instant,
     cur_max: f64,
-    /// Running max of cycle-domain samples in the current block.
+    /// Running max of cycle-domain samples in the hot block.
     cur_max_c: u64,
     /// Clock rate for `cur_max_c`; 0 until a cycle sample arrives.
     cur_hz: u64,
     cur_nonempty: bool,
+    /// Completed block maxima, dense from block 0: `maxima[b]` is the max
+    /// over `[b * block_len, (b + 1) * block_len)`, `0.0` for sample-free
+    /// blocks.
     maxima: Vec<f64>,
 }
 
@@ -46,6 +60,7 @@ impl BlockMaxima {
         assert!(!block_len.is_zero(), "block length must be non-zero");
         BlockMaxima {
             block_len,
+            cur_start: Instant::ZERO,
             cur_block_end: Instant::ZERO + block_len,
             cur_max: 0.0,
             cur_max_c: 0,
@@ -55,9 +70,9 @@ impl BlockMaxima {
         }
     }
 
-    /// Closes the in-progress block: reconciles the two domains (the ms
-    /// conversion of the cycle max against the ms max), pushes the block
-    /// value, and resets for the next block.
+    /// Closes the hot block: reconciles the two domains (the ms conversion
+    /// of the cycle max against the ms max), pushes the block value, and
+    /// resets for the next block.
     fn flush_block(&mut self) {
         let mut m = self.cur_max;
         if self.cur_max_c != 0 {
@@ -70,13 +85,39 @@ impl BlockMaxima {
         self.cur_max = 0.0;
         self.cur_max_c = 0;
         self.cur_nonempty = false;
+        self.cur_start = self.cur_block_end;
         self.cur_block_end = self.cur_block_end + self.block_len;
+    }
+
+    /// Completes the hot block plus any skipped sample-free blocks so the
+    /// block containing `now` becomes the hot one. One division, only on
+    /// the rare block-crossing path.
+    fn advance_to(&mut self, now: Instant) {
+        debug_assert!(now >= self.cur_block_end);
+        self.flush_block();
+        let b = (now.0 / self.block_len.0) as usize;
+        if self.maxima.len() < b {
+            self.maxima.resize(b, 0.0);
+            self.cur_start = Instant(self.block_len.0 * b as u64);
+            self.cur_block_end = self.cur_start + self.block_len;
+        }
+    }
+
+    /// Folds a sample for an already-completed block into its slot.
+    fn fold_past(&mut self, now: Instant, ms: f64) {
+        let b = (now.0 / self.block_len.0) as usize;
+        if ms > self.maxima[b] {
+            self.maxima[b] = ms;
+        }
     }
 
     /// Records a sample observed at `now`.
     pub fn record(&mut self, now: Instant, ms: f64) {
-        while now >= self.cur_block_end {
-            self.flush_block();
+        if now >= self.cur_block_end {
+            self.advance_to(now);
+        } else if now < self.cur_start {
+            self.fold_past(now, ms);
+            return;
         }
         if ms > self.cur_max {
             self.cur_max = ms;
@@ -85,7 +126,9 @@ impl BlockMaxima {
     }
 
     /// Records a cycle-domain sample observed at `now`: one `u64` compare,
-    /// no conversion until the block flushes.
+    /// no conversion until the block completes (late samples for completed
+    /// blocks convert immediately — max commutes with the conversion, so
+    /// the slot value is unchanged by the different fold point).
     pub fn record_cycles(&mut self, now: Instant, c: Cycles, cpu_hz: u64) {
         if self.cur_hz != cpu_hz {
             // Rate change mid-block: fold the old-rate max into the ms
@@ -99,8 +142,11 @@ impl BlockMaxima {
             }
             self.cur_hz = cpu_hz;
         }
-        while now >= self.cur_block_end {
-            self.flush_block();
+        if now >= self.cur_block_end {
+            self.advance_to(now);
+        } else if now < self.cur_start {
+            self.fold_past(now, c.as_ms_at(cpu_hz));
+            return;
         }
         if c.0 > self.cur_max_c {
             self.cur_max_c = c.0;
@@ -108,12 +154,13 @@ impl BlockMaxima {
         self.cur_nonempty = true;
     }
 
-    /// Folds a batch of cycle-domain samples observed at non-decreasing
-    /// timestamps, all at one clock rate. Bit-identical to calling
-    /// [`Self::record_cycles`] once per element: the rate fold hoists out
-    /// of the loop, and the batch splits into runs that stay inside one
-    /// block — each run is a pure `u64` max-reduce — with the exact
-    /// streaming flush rule applied between runs (DESIGN.md §13).
+    /// Folds a batch of cycle-domain samples, all at one clock rate, in
+    /// **any order** — the stage's unordered per-series folds land here.
+    /// Bit-identical to calling [`Self::record_cycles`] once per element
+    /// in timestamp order: each sample folds into the block its timestamp
+    /// selects, and block values are order-free maxima (DESIGN.md §14).
+    /// The rate fold hoists out of the loop; in-block samples stay on the
+    /// two-compare hot path.
     pub fn record_cycles_batch(&mut self, nows: &[u64], cycles: &[u64], cpu_hz: u64) {
         debug_assert_eq!(nows.len(), cycles.len(), "columns must align");
         if nows.is_empty() {
@@ -129,27 +176,18 @@ impl BlockMaxima {
             }
             self.cur_hz = cpu_hz;
         }
-        let mut i = 0;
-        while i < nows.len() {
-            let end = self.cur_block_end.0;
-            if nows[i] >= end {
-                self.flush_block();
+        for (&t, &c) in nows.iter().zip(cycles) {
+            let now = Instant(t);
+            if now >= self.cur_block_end {
+                self.advance_to(now);
+            } else if now < self.cur_start {
+                self.fold_past(now, Cycles(c).as_ms_at(cpu_hz));
                 continue;
             }
-            // Extent of the run staying inside the current block.
-            let mut j = i + 1;
-            while j < nows.len() && nows[j] < end {
-                j += 1;
+            if c > self.cur_max_c {
+                self.cur_max_c = c;
             }
-            let mut max_c = self.cur_max_c;
-            for &c in &cycles[i..j] {
-                if c > max_c {
-                    max_c = c;
-                }
-            }
-            self.cur_max_c = max_c;
             self.cur_nonempty = true;
-            i = j;
         }
     }
 
@@ -170,8 +208,14 @@ impl BlockMaxima {
     /// concatenation reproduces the streaming order. A no-op when
     /// `block_count` blocks are already complete.
     pub fn close_through(&mut self, block_count: usize) {
-        while self.maxima.len() < block_count {
-            self.flush_block();
+        if self.maxima.len() >= block_count {
+            return;
+        }
+        self.flush_block();
+        if self.maxima.len() < block_count {
+            self.maxima.resize(block_count, 0.0);
+            self.cur_start = Instant(self.block_len.0 * block_count as u64);
+            self.cur_block_end = self.cur_start + self.block_len;
         }
     }
 
@@ -205,11 +249,68 @@ impl BlockMaxima {
         self.cur_max_c = other.cur_max_c;
         self.cur_hz = other.cur_hz;
         self.cur_nonempty = other.cur_nonempty;
-        // Every push advances the block end by exactly one block from the
-        // initial `block_len`, so `cur_block_end` is always
-        // `(maxima.len() + 1) * block_len` — restore that invariant for the
-        // concatenated window.
-        self.cur_block_end = Instant(self.block_len.0 * (self.maxima.len() as u64 + 1));
+        // The hot block always sits right after the completed prefix, so
+        // `cur_start` is `maxima.len() * block_len` — restore that
+        // invariant for the concatenated window.
+        self.cur_start = Instant(self.block_len.0 * self.maxima.len() as u64);
+        self.cur_block_end = self.cur_start + self.block_len;
+    }
+
+    /// Folds `other`'s completed blocks into this tracker at an absolute
+    /// block offset: `maxima[offset_blocks + b] = max(.., other.maxima[b])`,
+    /// growing the completed prefix with `0.0` padding as needed.
+    ///
+    /// Unlike [`Self::merge`] this is **commutative across shards covering
+    /// disjoint block ranges** — each shard's blocks land at their absolute
+    /// positions and `f64::max(0.0, x) == x` makes the slot fold identical
+    /// to concatenation — so shard results may be consumed in completion
+    /// order (DESIGN.md §14). Both trackers must be closed at a block
+    /// boundary; an open tail shard is adopted last via [`Self::merge`].
+    pub fn merge_at(&mut self, offset_blocks: usize, other: &BlockMaxima) {
+        assert_eq!(
+            self.block_len, other.block_len,
+            "block lengths must match to merge"
+        );
+        assert!(
+            !self.cur_nonempty && self.cur_max == 0.0 && self.cur_max_c == 0,
+            "merge receiver must be closed at a block boundary \
+             (call close_through first)"
+        );
+        assert!(
+            !other.cur_nonempty && other.cur_max == 0.0 && other.cur_max_c == 0,
+            "merge_at shard must be closed at a block boundary \
+             (call close_through first)"
+        );
+        let need = offset_blocks + other.maxima.len();
+        if self.maxima.len() < need {
+            self.maxima.resize(need, 0.0);
+        }
+        for (b, &m) in other.maxima.iter().enumerate() {
+            let slot = &mut self.maxima[offset_blocks + b];
+            if m > *slot {
+                *slot = m;
+            }
+        }
+        self.cur_start = Instant(self.block_len.0 * self.maxima.len() as u64);
+        self.cur_block_end = self.cur_start + self.block_len;
+    }
+
+    /// Shifts this tracker's completed blocks `offset_blocks` later in the
+    /// timeline by prepending sample-free blocks — used when a
+    /// completion-order consumer adopts a mid-window shard as its
+    /// accumulator. The tracker must be closed at a block boundary.
+    pub fn shift_blocks(&mut self, offset_blocks: usize) {
+        assert!(
+            !self.cur_nonempty && self.cur_max == 0.0 && self.cur_max_c == 0,
+            "shift requires a tracker closed at a block boundary \
+             (call close_through first)"
+        );
+        if offset_blocks == 0 {
+            return;
+        }
+        self.maxima.splice(0..0, std::iter::repeat_n(0.0, offset_blocks));
+        self.cur_start = Instant(self.block_len.0 * self.maxima.len() as u64);
+        self.cur_block_end = self.cur_start + self.block_len;
     }
 
     /// Expected maximum over windows of `k` consecutive blocks: the mean of
@@ -272,11 +373,14 @@ impl LatencySeries {
     }
 
     /// Folds a staged batch of cycle-domain samples (parallel `now` /
-    /// latency columns, stream order, non-decreasing timestamps) at the
-    /// series' clock rate. Bit-identical to per-sample
-    /// [`Self::record_cycles`] calls: histogram and block-maxima state are
-    /// independent, so folding the whole column into each in turn
-    /// reproduces the interleaved per-sample updates exactly.
+    /// latency columns) at the series' clock rate. Bit-identical to
+    /// per-sample [`Self::record_cycles`] calls in timestamp order — in
+    /// any batch order under v2, where every accumulator is order-free
+    /// (DESIGN.md §14): histogram and block-maxima state are independent,
+    /// so folding the whole column into each in turn reproduces the
+    /// interleaved per-sample updates exactly. Under `--stats-v1` the
+    /// caller must present the columns in stream order (the legacy f64
+    /// sum is order-sensitive).
     pub fn record_cycles_batch(&mut self, nows: &[u64], cycles: &[u64]) {
         self.hist.record_cycles_batch(cycles, self.cpu_hz);
         self.blocks.record_cycles_batch(nows, cycles, self.cpu_hz);
@@ -298,6 +402,25 @@ impl LatencySeries {
     pub fn merge(&mut self, other: &LatencySeries) {
         self.hist.merge(&other.hist);
         self.blocks.merge(&other.blocks);
+    }
+
+    /// Folds another series measured over a shard window that starts
+    /// `offset_minutes` into this series' timeline. Commutative across
+    /// shards covering disjoint windows (v2): the histogram merge is exact
+    /// bin/epoch addition and the block maxima slot into their absolute
+    /// positions — see [`BlockMaxima::merge_at`]. The shard must be closed
+    /// ([`Self::close_blocks`]).
+    pub fn merge_at(&mut self, offset_minutes: usize, other: &LatencySeries) {
+        debug_assert_eq!(BLOCK_MINUTES, 1.0, "blocks are whole minutes");
+        self.hist.merge(&other.hist);
+        self.blocks.merge_at(offset_minutes, &other.blocks);
+    }
+
+    /// Shifts this closed series' blocks `offset_minutes` later in the
+    /// cell timeline — see [`BlockMaxima::shift_blocks`].
+    pub fn shift_blocks(&mut self, offset_minutes: usize) {
+        debug_assert_eq!(BLOCK_MINUTES, 1.0, "blocks are whole minutes");
+        self.blocks.shift_blocks(offset_minutes);
     }
 
     /// Expected maximum latency over `window_hours` of collection time,
@@ -577,6 +700,95 @@ mod tests {
         for (a, b) in by_cycles.maxima().iter().zip(by_ms.maxima()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn out_of_order_samples_match_the_sorted_stream_bit_for_bit() {
+        // Block values are order-free maxima: any permutation of the
+        // timestamped stream — including samples landing in long-completed
+        // blocks — must leave identical maxima.
+        let cpu = 300_000_000u64;
+        let len = Cycles(1_000);
+        let samples: [(u64, u64); 8] = [
+            (100, 5_000),
+            (4_500, 9_000),
+            (150, 7_000),   // Back into block 0 after block 4 opened.
+            (2_200, 1),
+            (950, 0),       // Zero sample, block 0.
+            (4_999, 2_000),
+            (3_100, 8_000),
+            (250, 6_999),
+        ];
+        let mut sorted = samples;
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut in_order = BlockMaxima::new(len);
+        for (t, c) in sorted {
+            in_order.record_cycles(Instant(t), Cycles(c), cpu);
+        }
+        let mut scattered = BlockMaxima::new(len);
+        for (t, c) in samples {
+            scattered.record_cycles(Instant(t), Cycles(c), cpu);
+        }
+        let mut batched = BlockMaxima::new(len);
+        let nows: Vec<u64> = samples.iter().map(|&(t, _)| t).collect();
+        let cycles: Vec<u64> = samples.iter().map(|&(_, c)| c).collect();
+        batched.record_cycles_batch(&nows, &cycles, cpu);
+        for b in [&mut scattered, &mut batched] {
+            b.close_through(6);
+        }
+        in_order.close_through(6);
+        for other in [&scattered, &batched] {
+            assert_eq!(in_order.maxima().len(), other.maxima().len());
+            for (a, b) in in_order.maxima().iter().zip(other.maxima()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn merge_at_is_commutative_and_matches_ordered_merge() {
+        let len = Cycles(100);
+        // Three closed shards of 2 blocks each, at absolute offsets.
+        let shard = |vals: [(u64, f64); 2]| {
+            let mut b = BlockMaxima::new(len);
+            for (t, v) in vals {
+                b.record(Instant(t), v);
+            }
+            b.close_through(2);
+            b
+        };
+        let shards = [
+            shard([(10, 3.0), (150, 1.0)]),
+            shard([(20, 7.0), (199, 2.0)]),
+            shard([(0, 4.0), (101, 9.0)]),
+        ];
+        // Reference: index-order concatenation via merge.
+        let mut reference = BlockMaxima::new(len);
+        reference.close_through(0);
+        for s in &shards {
+            reference.merge(s);
+        }
+        // merge_at in every arrival order.
+        for order in [[0usize, 1, 2], [2, 0, 1], [1, 2, 0], [2, 1, 0]] {
+            let mut acc = BlockMaxima::new(len);
+            for &i in &order {
+                acc.merge_at(i * 2, &shards[i]);
+            }
+            assert_eq!(acc.maxima(), reference.maxima(), "{order:?}");
+        }
+        // A later in-order merge of an open tail still works on top.
+        let mut acc = BlockMaxima::new(len);
+        for &i in &[2usize, 0, 1] {
+            acc.merge_at(i * 2, &shards[i]);
+        }
+        let mut tail = BlockMaxima::new(len);
+        tail.record(Instant(30), 5.0); // Open hot block.
+        acc.merge(&tail);
+        let mut ref_tail = reference.clone();
+        ref_tail.merge(&tail);
+        acc.record(Instant(100_000), 0.1);
+        ref_tail.record(Instant(100_000), 0.1);
+        assert_eq!(acc.maxima(), ref_tail.maxima());
     }
 
     #[test]

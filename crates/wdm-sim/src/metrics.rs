@@ -18,6 +18,13 @@
 //!   implementation detail of the fan-out, so a gauge must not see it.
 //! - **Histogram**: bin-wise count sum; edges must be identical, merging
 //!   mismatched shapes is a logic error and panics.
+//!
+//! Every rule is commutative and associative. That is now load-bearing
+//! beyond determinism-across-thread-counts: the bench harness consumes
+//! shard snapshots in **completion order** (whichever worker finishes
+//! first merges first), so any order-sensitive rule here would leak
+//! scheduling into the committed digests. New metric kinds must keep the
+//! commutative-merge contract.
 
 use std::collections::BTreeMap;
 
