@@ -501,24 +501,16 @@ fn bench_histogram(c: &mut Criterion) {
         })
     });
 
-    // The v2-vs-v1 accumulator cost in isolation: the same staged cycle
-    // batch folded through the exact u128 epoch sums (default) and through
-    // the legacy stream-order f64 path (`--stats-v1`). The full-pipeline
-    // `measure_events_per_sec` moves within host noise between the two
-    // modes — recording is a small slice of serial wall time — so this
-    // pair is where the accumulator swap is actually observable.
+    // The batched accumulator cost in isolation: a staged cycle batch
+    // folded through the exact u128 epoch sums (DESIGN.md §14). The
+    // full-pipeline `measure_events_per_sec` moves within host noise —
+    // recording is a small slice of serial wall time — so this is where
+    // the fold itself is actually observable.
     let cpu_hz = 300_000_000u64;
     let cycles: Vec<u64> = (0..100_000u64).map(|i| (i % 977) * 3_900).collect();
     c.bench_function("latency/batch_fold_v2_100k", |b| {
         b.iter(|| {
             let mut h = LatencyHistogram::fig4();
-            h.record_cycles_batch(&cycles, cpu_hz);
-            std::hint::black_box(h.count())
-        })
-    });
-    c.bench_function("latency/batch_fold_v1_100k", |b| {
-        b.iter(|| {
-            let mut h = LatencyHistogram::fig4_v1();
             h.record_cycles_batch(&cycles, cpu_hz);
             std::hint::black_box(h.count())
         })

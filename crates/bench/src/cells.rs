@@ -79,16 +79,15 @@ pub struct RunConfig {
     /// batch-smoke job asserts it against the committed digests). See
     /// DESIGN.md §13.
     pub batch_record: bool,
-    /// Run the legacy v1 stream-order statistics accumulator
-    /// (`repro --stats-v1`), kept for one release so the v1 digest
-    /// baselines (`artifacts/CELL_digests_v1.txt`) stay reproducible.
-    /// The default (false) is the v2 exact cycle-domain accumulator:
-    /// order-independent summaries pinned by the main digest files. The
-    /// flag must match the process-wide switch
-    /// (`wdm_latency::set_stats_v1`), which `main` sets before any
-    /// measurement runs; here it selects index-order vs completion-order
-    /// shard consumption. See DESIGN.md §14.
-    pub stats_v1: bool,
+    /// Arm tail-episode forensics on every cell (`repro blame`): blame
+    /// decomposition plus a bounded episode store of flight-ring captures
+    /// (DESIGN.md §15). Digest-neutral: the episode payloads ride their
+    /// own fields and `summary_digest` never reads them (CI's blame-smoke
+    /// job asserts the digests stay bit-identical with this armed).
+    pub blame: Option<wdm_latency::BlameOptions>,
+    /// Arm the virtual-time flame sampler at this rate in samples per
+    /// simulated second (`repro flame`). Digest-neutral like `blame`.
+    pub flame_hz: Option<f64>,
 }
 
 impl Default for RunConfig {
@@ -102,7 +101,8 @@ impl Default for RunConfig {
             compile: true,
             sampler_mode: SamplerMode::Exact,
             batch_record: true,
-            stats_v1: false,
+            blame: None,
+            flame_hz: None,
         }
     }
 }
@@ -116,6 +116,8 @@ impl RunConfig {
                 pid: cell_pid(os, w),
                 ..FlightOptions::default()
             }),
+            blame: self.blame,
+            flame_hz: self.flame_hz,
             ..MeasureOptions::default()
         };
         opts.scenario.compile = self.compile;
@@ -234,9 +236,27 @@ pub fn measure_shard(
 pub fn measure_cell(cfg: &RunConfig, os: OsKind, w: WorkloadKind) -> ScenarioMeasurement {
     let shards = cell_shards(cfg, os, w);
     let opts = cfg.measure_opts(os, w);
-    ScenarioMeasurement::merge_shards(
+    let mut m = ScenarioMeasurement::merge_shards(
         shards.iter().map(|s| measure_shard(s, os, w, &opts)).collect(),
-    )
+    );
+    finish_blame(&mut m, cfg);
+    m
+}
+
+/// Re-ranks a merged cell's per-shard episode retentions into the cell's
+/// global top-K: stable sort by latency descending (ties keep shard/time
+/// order, so the earlier episode wins exactly as in the per-shard store),
+/// then truncate to the per-cell cap. Each shard already kept at most the
+/// cap, so the concatenation holds every global top-K candidate.
+pub fn finish_blame(m: &mut ScenarioMeasurement, cfg: &RunConfig) {
+    if let Some(opts) = cfg.blame {
+        let cap = match opts.trigger {
+            wdm_latency::BlameTrigger::TopK(k) => k.min(opts.max_episodes),
+            _ => opts.max_episodes,
+        };
+        m.blame_episodes.sort_by_key(|e| std::cmp::Reverse(e.0));
+        m.blame_episodes.truncate(cap);
+    }
 }
 
 /// All 8 cells (2 OSs x 4 workloads), NT first, paper workload order.
@@ -343,6 +363,8 @@ struct CellAssembly {
     episodes: Vec<Option<Vec<String>>>,
     /// Chrome trace events per shard index.
     traces: Vec<Option<Vec<String>>>,
+    /// Blame-episode payloads per shard index (DESIGN.md §15).
+    blame: Vec<Option<Vec<wdm_latency::session::BlameEpisodePayload>>>,
     /// Wall-clock per shard index.
     walls: Vec<f64>,
     /// Absolute whole-minute offset of each shard in the cell window
@@ -357,12 +379,11 @@ struct CellAssembly {
 ///
 /// Every cell expands into its shard jobs first, so the worker pool sees the
 /// flat 8 x K job list (shards are independent simulations just like cells —
-/// each seeds from its [`ShardSpec`] alone). Under the v2 exact accumulators
-/// shard results are consumed in **completion order** — every merge commutes
-/// (DESIGN.md §14), positional payloads are slotted by shard index, and the
-/// output is byte-identical to the sequential merge at any thread count and
-/// arrival order. Under `--stats-v1` the arrivals are first sorted back to
-/// job-index order, reproducing the legacy order-sensitive fold exactly.
+/// each seeds from its [`ShardSpec`] alone). Shard results are consumed in
+/// **completion order** — every merge commutes under the exact cycle-domain
+/// accumulators (DESIGN.md §14), positional payloads are slotted by shard
+/// index, and the output is byte-identical to the sequential merge at any
+/// thread count and arrival order.
 pub fn measure_all_timed(cfg: &RunConfig) -> TimedCells {
     let cells: Vec<(OsKind, WorkloadKind)> = [OsKind::Nt4, OsKind::Win98]
         .into_iter()
@@ -384,7 +405,7 @@ pub fn measure_all_timed(cfg: &RunConfig) -> TimedCells {
     let threads = crate::parallel::effective_threads(cfg.threads, jobs.len());
     let t0 = std::time::Instant::now();
     let _grid = spans::span("measure grid");
-    let mut arrivals = crate::parallel::parallel_map_completion(jobs.len(), threads, |i| {
+    let arrivals = crate::parallel::parallel_map_completion(jobs.len(), threads, |i| {
         let (ci, si, k, spec) = jobs[i];
         let (os, w) = cells[ci];
         let scope = format!("cell {:?}/{:?} shard {}/{}", os, w, si + 1, k);
@@ -400,11 +421,6 @@ pub fn measure_all_timed(cfg: &RunConfig) -> TimedCells {
     drop(_grid);
 
     let _merge = spans::span("merge shards");
-    if cfg.stats_v1 {
-        // Legacy fold: shard time order within each cell, exactly the old
-        // index-order consumption the v1 digests pin.
-        arrivals.sort_by_key(|&(i, _)| i);
-    }
 
     // Prepare per-cell assembly slots from the (deterministic) job list.
     let mut asm: Vec<CellAssembly> = cells
@@ -414,6 +430,7 @@ pub fn measure_all_timed(cfg: &RunConfig) -> TimedCells {
             tail: None,
             episodes: Vec::new(),
             traces: Vec::new(),
+            blame: Vec::new(),
             walls: Vec::new(),
             offsets: Vec::new(),
             hours: Vec::new(),
@@ -425,6 +442,7 @@ pub fn measure_all_timed(cfg: &RunConfig) -> TimedCells {
         debug_assert_eq!(a.hours.len(), si, "jobs list cell-shards in order");
         a.episodes.push(None);
         a.traces.push(None);
+        a.blame.push(None);
         a.walls.push(0.0);
         a.hours.push(spec.hours);
         a.offsets.push(cum_minutes[ci]);
@@ -439,6 +457,7 @@ pub fn measure_all_timed(cfg: &RunConfig) -> TimedCells {
         a.walls[si] = wall_s;
         a.episodes[si] = Some(std::mem::take(&mut m.episodes));
         a.traces[si] = Some(std::mem::take(&mut m.trace_events));
+        a.blame[si] = Some(std::mem::take(&mut m.blame_episodes));
         if si == k - 1 {
             // The final shard may end mid-minute (open hot block); it is
             // adopted by the sequential merge once every closed shard is in.
@@ -484,6 +503,12 @@ pub fn measure_all_timed(cfg: &RunConfig) -> TimedCells {
             .into_iter()
             .flat_map(|t| t.expect("every shard arrived"))
             .collect();
+        m.blame_episodes = a
+            .blame
+            .into_iter()
+            .flat_map(|b| b.expect("every shard arrived"))
+            .collect();
+        finish_blame(&mut m, cfg);
         let mut hours = a.hours[0];
         for &h in &a.hours[1..] {
             hours += h;
@@ -593,7 +618,8 @@ mod tests {
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
             batch_record: true,
-            stats_v1: false,
+            blame: None,
+            flame_hz: None,
         };
         let m = measure_cell(&cfg, OsKind::Nt4, WorkloadKind::Web);
         // Every-tick series sees ~3k samples in 3 s; the per-round series
@@ -647,7 +673,8 @@ mod tests {
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
             batch_record: true,
-            stats_v1: false,
+            blame: None,
+            flame_hz: None,
         };
         // Sub-minute window: exactly one shard with the cell's own seed and
         // no block closing, i.e. the pre-shard harness.
@@ -668,7 +695,8 @@ mod tests {
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
             batch_record: true,
-            stats_v1: false,
+            blame: None,
+            flame_hz: None,
         };
         let specs = cell_shards(&cfg, OsKind::Nt4, WorkloadKind::Business);
         assert_eq!(specs.len(), 2);

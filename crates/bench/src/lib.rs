@@ -16,13 +16,16 @@
 //! - [`progress`] — `--quiet`/`--verbose`-aware stderr reporting;
 //! - [`spans`] — harness self-instrumentation spans for the trace;
 //! - [`tracecmd`] — the `repro trace` / `repro metrics` artifacts
-//!   (`TRACE_*.json`, `METRICS_cells.json`).
+//!   (`TRACE_*.json`, `METRICS_cells.json`);
+//! - [`forensics`] — the `repro blame` / `repro flame` artifacts
+//!   (`BLAME_cells.json`, `TRACE_blame_*.json`, `FLAME_cells.folded`).
 //!
 //! The `repro` binary is the CLI; the Criterion benches in `benches/` time
 //! the same harnesses.
 
 pub mod cells;
 pub mod extras;
+pub mod forensics;
 pub mod figures;
 pub mod output;
 pub mod parallel;

@@ -25,16 +25,17 @@
 
 use wdm_bench::{
     cells::{measure_all, summary_digest, Duration, RunConfig},
-    extras, figures, output, progress, tables, timing, tracecmd,
+    extras, figures, forensics, output, progress, tables, timing, tracecmd,
 };
 use wdm_osmodel::dist::SamplerMode;
 
-const USAGE: &str = "usage: repro <artifact> [--minutes N | --full] [--seed S] [--threads T] [--shards K] [--out DIR] [--trace] [--no-compile] [--no-batch-record] [--stats-v1] [--sampler-mode exact|table] [--repeats R] [--quiet | --verbose]
+const USAGE: &str = "usage: repro <artifact> [--minutes N | --full] [--seed S] [--threads T] [--shards K] [--out DIR] [--trace] [--no-compile] [--no-batch-record] [--sampler-mode exact|table] [--blame-mode topk|threshold|blockmax] [--blame-threshold-ms T] [--blame-top K] [--flame-hz HZ] [--repeats R] [--quiet | --verbose]
 
 artifacts:
   table1 table2 table3 table4 figure4 figure5 figure6 figure7
   throughput validate-mttf sched feasibility win2000 microbench
-  interactive stability ablations timing digest trace metrics all
+  interactive stability ablations timing digest trace metrics
+  blame flame all
 
 options:
   --minutes N   simulated minutes per cell (positive number; default 2)
@@ -50,16 +51,22 @@ options:
   --no-batch-record
                 record each latency sample straight into its series instead
                 of staging and batch-folding (output byte-identical)
-  --stats-v1    legacy v1 statistics: float millisecond accumulation in
-                stream order instead of the exact cycle-domain epoch sums
-                (DESIGN.md \u{a7}14). Reproduces the previous release's digests
-                bit-for-bit (artifacts/CELL_digests_v1.txt); kept for one
-                release as an A/B and repro escape hatch
   --sampler-mode exact|table
                 how distribution draws are lowered: 'exact' (default) is
                 bit-identical to the interpreted samplers; 'table' uses
                 quantile-table inverse-CDF lookups (own digest baseline,
                 artifacts/CELL_digests_table.txt)
+  --blame-mode topk|threshold|blockmax
+                which latency samples trigger a forensic capture (DESIGN.md
+                \u{a7}15): the K largest per cell (default), samples at or above
+                --blame-threshold-ms, or new per-cell running maxima. The
+                'blame' artifact arms forensics; these flags tune it.
+                Digest-neutral: measured values never change
+  --blame-threshold-ms T
+                trigger threshold for --blame-mode threshold (default 1.0)
+  --blame-top K retained episodes per cell (default 4)
+  --flame-hz HZ virtual-time sampling rate for the 'flame' artifact in
+                samples per simulated second (default 8000)
   --repeats R   wall-clock attempts per timing side; each cell reports its
                 fastest attempt (timing artifact only; default 3 for quick
                 grids, 1 for --full)
@@ -101,8 +108,11 @@ fn main() {
     let mut trace = false;
     let mut compile = true;
     let mut batch_record = true;
-    let mut stats_v1 = false;
     let mut sampler_mode = SamplerMode::Exact;
+    let mut blame_mode: Option<String> = None;
+    let mut blame_threshold_ms = 1.0f64;
+    let mut blame_top = 4usize;
+    let mut flame_hz: Option<f64> = None;
     let mut repeats: Option<usize> = None;
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut verbosity: Option<progress::Verbosity> = None;
@@ -128,7 +138,35 @@ fn main() {
             "--trace" => trace = true,
             "--no-compile" => compile = false,
             "--no-batch-record" => batch_record = false,
-            "--stats-v1" => stats_v1 = true,
+            "--blame-mode" => {
+                let raw: String = flag_value(&args, &mut i, "--blame-mode");
+                match raw.as_str() {
+                    "topk" | "threshold" | "blockmax" => blame_mode = Some(raw),
+                    _ => usage_error(&format!(
+                        "invalid value '{raw}' for --blame-mode (expected 'topk', \
+                         'threshold', or 'blockmax')"
+                    )),
+                }
+            }
+            "--blame-threshold-ms" => {
+                blame_threshold_ms = flag_value(&args, &mut i, "--blame-threshold-ms");
+                if !(blame_threshold_ms.is_finite() && blame_threshold_ms > 0.0) {
+                    usage_error("--blame-threshold-ms must be a positive number");
+                }
+            }
+            "--blame-top" => {
+                blame_top = flag_value(&args, &mut i, "--blame-top");
+                if blame_top < 1 {
+                    usage_error("--blame-top must be at least 1");
+                }
+            }
+            "--flame-hz" => {
+                let hz: f64 = flag_value(&args, &mut i, "--flame-hz");
+                if !(hz.is_finite() && hz > 0.0) {
+                    usage_error("--flame-hz must be a positive number");
+                }
+                flame_hz = Some(hz);
+            }
             "--repeats" => {
                 let r: usize = flag_value(&args, &mut i, "--repeats");
                 if r < 1 {
@@ -181,13 +219,16 @@ fn main() {
     if let Some(v) = verbosity {
         progress::set_verbosity(v);
     }
-    if stats_v1 {
-        // Flip the process-global statistics mode before any measurement
-        // state (histograms, stages) is constructed — they snapshot the
-        // mode at construction, and worker threads inherit whatever is set
-        // here. See DESIGN.md §14.
-        wdm_latency::set_stats_v1(true);
-    }
+    // The 'blame' artifact arms forensics; --blame-* flags tune the trigger
+    // (and a bare `repro blame` captures the default per-cell top-K).
+    let blame = (artifact == "blame" || blame_mode.is_some()).then(|| {
+        let trigger = match blame_mode.as_deref() {
+            Some("threshold") => wdm_latency::BlameTrigger::ThresholdMs(blame_threshold_ms),
+            Some("blockmax") => wdm_latency::BlameTrigger::BlockMax,
+            _ => wdm_latency::BlameTrigger::TopK(blame_top),
+        };
+        wdm_latency::BlameOptions { trigger, max_episodes: blame_top }
+    });
     let cfg = RunConfig {
         duration,
         seed,
@@ -197,7 +238,15 @@ fn main() {
         compile,
         sampler_mode,
         batch_record,
-        stats_v1,
+        blame,
+        // The 'flame' artifact arms the sampler at its default rate; an
+        // explicit --flame-hz arms it for any artifact (digest included —
+        // CI proves sampling is digest-neutral that way).
+        flame_hz: if artifact == "flame" {
+            Some(flame_hz.unwrap_or(8000.0))
+        } else {
+            flame_hz
+        },
     };
     let minutes = match duration {
         Duration::Minutes(m) => m,
@@ -318,6 +367,42 @@ fn main() {
             );
             let (_cells, files) = tracecmd::run_trace(&cfg, &dir)
                 .unwrap_or_else(|e| fatal("writing trace files", e));
+            for f in &files {
+                progress::note("out", &format!("wrote {}", f.display()));
+            }
+        }
+        "blame" => {
+            let dir = out_dir
+                .clone()
+                .unwrap_or_else(|| std::path::PathBuf::from("artifacts"));
+            progress::note(
+                "grid",
+                &format!(
+                    "blame-profiling 8 OS x workload cells ({duration:?}, seed {seed}) \
+                     into {}...",
+                    dir.display()
+                ),
+            );
+            let (_cells, files) = forensics::run_blame(&cfg, &dir)
+                .unwrap_or_else(|e| fatal("writing blame files", e));
+            for f in &files {
+                progress::note("out", &format!("wrote {}", f.display()));
+            }
+        }
+        "flame" => {
+            let dir = out_dir
+                .clone()
+                .unwrap_or_else(|| std::path::PathBuf::from("artifacts"));
+            progress::note(
+                "grid",
+                &format!(
+                    "flame-profiling 8 OS x workload cells ({duration:?}, seed {seed}) \
+                     into {}...",
+                    dir.display()
+                ),
+            );
+            let (_cells, files) = forensics::run_flame(&cfg, &dir)
+                .unwrap_or_else(|e| fatal("writing flame files", e));
             for f in &files {
                 progress::note("out", &format!("wrote {}", f.display()));
             }

@@ -129,7 +129,8 @@ mod tests {
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
         batch_record: true,
-        stats_v1: false,
+        blame: None,
+        flame_hz: None,
         };
         let cells = measure_all(&cfg);
         let dir = std::env::temp_dir().join("wdm_repro_tsv_test");

@@ -162,7 +162,8 @@ mod tests {
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
             batch_record: true,
-            stats_v1: false,
+            blame: None,
+            flame_hz: None,
         }
     }
 
@@ -197,7 +198,8 @@ mod tests {
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
         batch_record: true,
-        stats_v1: false,
+        blame: None,
+        flame_hz: None,
         };
         let t = table4(&cfg);
         assert!(t.contains("episodes captured"));

@@ -338,7 +338,7 @@ pub fn render_json(cfg: &RunConfig, r: &TimingReport) -> String {
         r.repeats,
         cfg.compile,
         json_str(cfg.sampler_mode.as_str()),
-        json_str(if cfg.stats_v1 { "v1" } else { "v2" }),
+        json_str("v2"),
         json_str(HOST_PHASE_NOTE),
         json_f64(r.grid_imbalance()),
         json_f64(r.serial.total_wall_s),
@@ -471,7 +471,8 @@ mod tests {
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
             batch_record: true,
-            stats_v1: false,
+            blame: None,
+            flame_hz: None,
         };
         let r = run(&cfg, None);
         assert!(

@@ -91,7 +91,8 @@ mod tests {
             compile: true,
             sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
             batch_record: true,
-            stats_v1: false,
+            blame: None,
+            flame_hz: None,
         }
     }
 

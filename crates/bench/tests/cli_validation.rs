@@ -68,9 +68,11 @@ fn unknown_flags_and_artifacts_exit_2_with_usage() {
 }
 
 #[test]
-fn unknown_stats_flags_exit_2_with_usage() {
-    // `--stats-v1` is the only stats escape hatch; near-misses must be
-    // rejected loudly rather than silently measuring in the wrong mode.
+fn retired_and_unknown_stats_flags_exit_2_with_usage() {
+    // The one-release `--stats-v1` escape hatch is retired along with the
+    // whole `--stats-*` family; any survivor in a script must fail loudly
+    // rather than silently measuring in the wrong mode.
+    assert_usage_rejection(&["digest", "--stats-v1"], "--stats-v1");
     assert_usage_rejection(&["digest", "--stats-v2"], "--stats-v2");
     assert_usage_rejection(&["digest", "--stats-v0"], "--stats-v0");
     assert_usage_rejection(&["digest", "--stats-legacy"], "--stats-legacy");
@@ -78,42 +80,36 @@ fn unknown_stats_flags_exit_2_with_usage() {
 }
 
 #[test]
-fn stats_v1_parses_and_composes_with_other_escape_hatches() {
-    // `--stats-v1` must reach the harness alone and stacked with every
-    // other escape hatch (the legacy fold has to survive under the
-    // interpreter and per-sample recording too).
-    let alone = repro(&["digest", "--minutes", "0.02", "--quiet", "--stats-v1"]);
-    assert!(
-        alone.status.success(),
-        "--stats-v1 must run: {:?}\nstderr: {}",
-        alone.status.code(),
-        String::from_utf8_lossy(&alone.stderr)
+fn malformed_blame_and_flame_flags_exit_2_with_usage() {
+    assert_usage_rejection(&["blame", "--blame-mode", "biggest"], "--blame-mode");
+    assert_usage_rejection(&["blame", "--blame-top", "0"], "--blame-top");
+    assert_usage_rejection(
+        &["blame", "--blame-threshold-ms", "-2"],
+        "--blame-threshold-ms",
     );
-    let stdout = String::from_utf8_lossy(&alone.stdout);
-    assert_eq!(
-        stdout.lines().count(),
-        8,
-        "digest emits one line per cell: {stdout}"
-    );
-    let stacked = repro(&[
+    assert_usage_rejection(&["flame", "--flame-hz", "0"], "--flame-hz");
+    assert_usage_rejection(&["flame", "--flame-hz", "nan"], "--flame-hz");
+}
+
+#[test]
+fn armed_forensics_digest_is_bit_identical() {
+    // DESIGN.md §15: blame capture and the flame sampler are pure
+    // observation — digests with forensics armed are byte-equal to the
+    // bare run.
+    let base = repro(&["digest", "--minutes", "0.02", "--quiet"]);
+    let armed = repro(&[
         "digest",
         "--minutes",
         "0.02",
         "--quiet",
-        "--stats-v1",
-        "--no-batch-record",
-        "--no-compile",
+        "--blame-mode",
+        "blockmax",
     ]);
-    assert!(
-        stacked.status.success(),
-        "--stats-v1 must compose with the other escape hatches: {:?}\nstderr: {}",
-        stacked.status.code(),
-        String::from_utf8_lossy(&stacked.stderr)
-    );
+    assert!(base.status.success() && armed.status.success());
     assert_eq!(
-        stdout,
-        String::from_utf8_lossy(&stacked.stdout),
-        "v1 statistics must digest identically under every escape hatch"
+        String::from_utf8_lossy(&base.stdout),
+        String::from_utf8_lossy(&armed.stdout),
+        "armed blame capture must digest identically"
     );
 }
 

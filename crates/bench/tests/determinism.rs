@@ -19,7 +19,8 @@ fn grid_digests_at(minutes: f64, seed: u64, threads: usize, shards: usize) -> Ve
         compile: true,
         sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
         batch_record: true,
-        stats_v1: false,
+        blame: None,
+        flame_hz: None,
     };
     let t = measure_all_timed(&cfg);
     assert_eq!(t.cells.nt.len(), 4, "NT cells in workload order");
@@ -82,7 +83,8 @@ fn tracing_leaves_the_grid_bit_identical() {
         compile: true,
         sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
         batch_record: true,
-        stats_v1: false,
+        blame: None,
+        flame_hz: None,
     };
     let traced_cfg = RunConfig { trace: true, ..base };
     let plain = measure_all_timed(&base);
@@ -122,6 +124,90 @@ fn tracing_leaves_the_grid_bit_identical() {
 }
 
 #[test]
+fn forensics_armed_grid_is_digest_neutral_and_thread_deterministic() {
+    // DESIGN.md §15: blame capture and the flame sampler are pure
+    // observation, so (1) every digest bit matches the bare run, and
+    // (2) the forensic payloads themselves — episode metadata, trace
+    // documents, collapsed stacks — are identical at any thread count
+    // (per-shard stores slot positionally before the global top-K).
+    let bare = RunConfig {
+        duration: Duration::Minutes(2.0),
+        seed: 1999,
+        threads: 1,
+        shards: 2,
+        trace: false,
+        compile: true,
+        sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
+        batch_record: true,
+        blame: None,
+        flame_hz: None,
+    };
+    let armed = RunConfig {
+        blame: Some(wdm_latency::BlameOptions::default()),
+        flame_hz: Some(8000.0),
+        ..bare
+    };
+    let digests = |t: &wdm_bench::cells::TimedCells| -> Vec<String> {
+        t.cells
+            .nt
+            .iter()
+            .chain(&t.cells.win98)
+            .map(summary_digest)
+            .collect()
+    };
+    let plain = measure_all_timed(&bare);
+    let serial = measure_all_timed(&armed);
+    let fanned = measure_all_timed(&RunConfig { threads: 8, ..armed });
+    assert_eq!(
+        digests(&plain),
+        digests(&serial),
+        "arming forensics perturbed the measured grid"
+    );
+    assert_eq!(digests(&serial), digests(&fanned));
+    let payloads = |t: &wdm_bench::cells::TimedCells| -> Vec<_> {
+        t.cells
+            .nt
+            .iter()
+            .chain(&t.cells.win98)
+            .map(|m| (m.blame_episodes.clone(), m.flame.clone()))
+            .collect()
+    };
+    assert_eq!(
+        payloads(&serial),
+        payloads(&fanned),
+        "forensic payloads diverged across thread counts"
+    );
+    // Guard against a vacuous pass: the armed run really captured.
+    assert!(
+        serial
+            .cells
+            .nt
+            .iter()
+            .chain(&serial.cells.win98)
+            .any(|m| !m.blame_episodes.is_empty()),
+        "armed run retained no episodes"
+    );
+    assert!(
+        serial
+            .cells
+            .nt
+            .iter()
+            .chain(&serial.cells.win98)
+            .all(|m| !m.flame.is_empty()),
+        "armed run collected no flame stacks"
+    );
+    assert!(
+        plain
+            .cells
+            .nt
+            .iter()
+            .chain(&plain.cells.win98)
+            .all(|m| m.blame_episodes.is_empty() && m.flame.is_empty()),
+        "bare run must carry no forensic payloads"
+    );
+}
+
+#[test]
 fn shard_count_changes_the_stream_but_not_the_window() {
     use wdm_bench::cells::measure_cell;
     use wdm_osmodel::personality::OsKind;
@@ -136,7 +222,8 @@ fn shard_count_changes_the_stream_but_not_the_window() {
         compile: true,
         sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
         batch_record: true,
-        stats_v1: false,
+        blame: None,
+        flame_hz: None,
     };
     let sharded = RunConfig {
         shards: 2,
@@ -322,7 +409,8 @@ fn digests_are_sensitive_to_the_seed() {
         compile: true,
         sampler_mode: wdm_osmodel::dist::SamplerMode::Exact,
         batch_record: true,
-        stats_v1: false,
+        blame: None,
+        flame_hz: None,
     };
     let t = measure_all_timed(&cfg);
     let b: Vec<String> = t

@@ -46,21 +46,17 @@ pub struct LatencyHistogram {
     /// `(edges[i-1], edges[i]]`; last = overflow.
     counts: Vec<u64>,
     count: u64,
-    /// Stream-order f64 sum. v1 mode folds *every* sample's ms value here
-    /// (the legacy digest-pinned accumulator); v2 mode folds only
-    /// [`Self::record_ms`] samples — the cycle paths sum exactly in
-    /// `epochs` instead, and [`Self::mean_ms`] combines the two.
+    /// Stream-order f64 sum of [`Self::record_ms`] samples only — the
+    /// cycle paths sum exactly in `epochs` instead, and [`Self::mean_ms`]
+    /// combines the two.
     sum_ms: f64,
-    /// Exact per-clock-rate cycle sums (v2), kept sorted by `cpu_hz` so
-    /// the accessor-time fold order is canonical regardless of the order
-    /// rates were first seen. Empty in v1 mode.
+    /// Exact per-clock-rate cycle sums, kept sorted by `cpu_hz` so the
+    /// accessor-time fold order is canonical regardless of the order rates
+    /// were first seen.
     epochs: Vec<RateEpoch>,
-    /// Index into `epochs` for the current `cycles_hz` (v2); refreshed at
+    /// Index into `epochs` for the current `cycles_hz`; refreshed at
     /// every rate change and merge so the hot paths index directly.
     cur_epoch: usize,
-    /// Snapshot of [`crate::stats::stats_v1`] at construction: `true` runs
-    /// the legacy stream-order accumulator.
-    stats_v1: bool,
     /// Extremes folded to ms: samples from [`Self::record_ms`], plus any
     /// cycle-domain extremes folded in at a clock-rate change or merge.
     max_ms: f64,
@@ -125,31 +121,14 @@ fn fig4_bin(ms: f64) -> usize {
 }
 
 impl LatencyHistogram {
-    /// Creates a histogram over the Figure 4 axis, in the process-wide
-    /// statistics mode (see [`crate::stats`]).
+    /// Creates a histogram over the Figure 4 axis.
     pub fn fig4() -> LatencyHistogram {
         LatencyHistogram::with_edges(&FIG4_EDGES_MS)
     }
 
-    /// Creates a Figure 4 histogram forced to the legacy v1 stream-order
-    /// accumulator, regardless of the process-wide mode. For tests and
-    /// compatibility oracles; production code follows the global switch.
-    pub fn fig4_v1() -> LatencyHistogram {
-        LatencyHistogram::with_edges_v1(&FIG4_EDGES_MS)
-    }
-
     /// Creates a histogram with custom bin edges (ms, strictly
-    /// increasing), in the process-wide statistics mode.
+    /// increasing).
     pub fn with_edges(edges_ms: &[f64]) -> LatencyHistogram {
-        LatencyHistogram::with_edges_mode(edges_ms, crate::stats::stats_v1())
-    }
-
-    /// [`Self::with_edges`] forced to the legacy v1 accumulator.
-    pub fn with_edges_v1(edges_ms: &[f64]) -> LatencyHistogram {
-        LatencyHistogram::with_edges_mode(edges_ms, true)
-    }
-
-    fn with_edges_mode(edges_ms: &[f64], stats_v1: bool) -> LatencyHistogram {
         assert!(!edges_ms.is_empty(), "need at least one bin edge");
         assert!(
             edges_ms.windows(2).all(|w| w[0] < w[1]),
@@ -180,7 +159,6 @@ impl LatencyHistogram {
             sum_ms: 0.0,
             epochs: Vec::new(),
             cur_epoch: 0,
-            stats_v1,
             max_ms: 0.0,
             min_ms: f64::INFINITY,
             max_c: 0,
@@ -220,17 +198,14 @@ impl LatencyHistogram {
     /// with a pure `u64` comparison against precomputed cycle edges and
     /// tracking max/min as raw cycle counts.
     ///
-    /// v2 (the default) sums the raw cycle count into the rate's
-    /// [`RateEpoch`] — an exact `u128` addition, deferring the ms
-    /// conversion to accessor time — so the whole record path is integer
-    /// and order-independent. v1 accumulates the per-sample f64 ms
-    /// conversion in stream order (the legacy digest-pinned behavior kept
-    /// behind `--stats-v1`). Max/min defer in both modes: `Cycles::as_ms_at`
-    /// is weakly monotone, so converting the cycle extremes at fold time
-    /// yields bit-identical results to [`Self::record_ms`]
-    /// `(c.as_ms_at(cpu_hz))` per sample. The equivalence arguments are in
-    /// DESIGN.md §12/§14 and enforced by the `binning_oracle` and
-    /// `stats_order_invariance` proptests.
+    /// The raw cycle count sums into the rate's [`RateEpoch`] — an exact
+    /// `u128` addition, deferring the ms conversion to accessor time — so
+    /// the whole record path is integer and order-independent. Max/min
+    /// defer too: `Cycles::as_ms_at` is weakly monotone, so converting the
+    /// cycle extremes at fold time yields bit-identical results to
+    /// [`Self::record_ms`] `(c.as_ms_at(cpu_hz))` per sample. The
+    /// equivalence arguments are in DESIGN.md §12/§14 and enforced by the
+    /// `binning_oracle` and `stats_order_invariance` proptests.
     #[inline]
     pub fn record_cycles(&mut self, c: Cycles, cpu_hz: u64) {
         if self.cycles_hz != cpu_hz {
@@ -238,18 +213,12 @@ impl LatencyHistogram {
             // the rate switches underneath them.
             self.fold_cycle_extremes();
             self.build_cycle_edges(cpu_hz);
-            if !self.stats_v1 {
-                self.cur_epoch = self.epoch_index(cpu_hz);
-            }
+            self.cur_epoch = self.epoch_index(cpu_hz);
         }
         let idx = cycle_bin(&self.binade_start, &self.edges_cycles, c.0);
         self.counts[idx] += 1;
         self.count += 1;
-        if self.stats_v1 {
-            self.sum_ms += c.as_ms_at(cpu_hz);
-        } else {
-            self.epoch_add(c.0 as u128, 1);
-        }
+        self.epoch_add(c.0 as u128, 1);
         if c.0 > self.max_c {
             self.max_c = c.0;
         }
@@ -262,12 +231,10 @@ impl LatencyHistogram {
 
     /// Folds a dense batch of cycle samples recorded at one clock rate.
     /// Bit-identical to calling [`Self::record_cycles`] once per element —
-    /// in v2 even for a *permuted* batch, since every accumulator is an
+    /// even for a *permuted* batch, since every accumulator is an
     /// associative integer op (DESIGN.md §14): the fold runs branch-light
     /// 8-wide chunks over the column with register-resident `u64` extremes
-    /// and a single `u128` epoch-sum update per batch. v1 preserves the
-    /// legacy stream-order loop exactly (its per-sample f64 ms additions
-    /// are digest-pinned; DESIGN.md §13).
+    /// and a single `u128` epoch-sum update per batch.
     pub fn record_cycles_batch(&mut self, cycles: &[u64], cpu_hz: u64) {
         if cycles.is_empty() {
             return;
@@ -275,70 +242,52 @@ impl LatencyHistogram {
         if self.cycles_hz != cpu_hz {
             self.fold_cycle_extremes();
             self.build_cycle_edges(cpu_hz);
-            if !self.stats_v1 {
-                self.cur_epoch = self.epoch_index(cpu_hz);
-            }
+            self.cur_epoch = self.epoch_index(cpu_hz);
         }
         let mut max_c = self.max_c;
         let mut min_c = self.min_c;
-        if self.stats_v1 {
-            let mut sum_ms = self.sum_ms;
-            for &c in cycles {
-                let idx = cycle_bin(&self.binade_start, &self.edges_cycles, c);
-                self.counts[idx] += 1;
-                sum_ms += Cycles(c).as_ms_at(cpu_hz);
-                if c > max_c {
-                    max_c = c;
-                }
-                if c < min_c {
-                    min_c = c;
-                }
-            }
-            self.sum_ms = sum_ms;
-        } else {
-            // Pure integer fold, split into two passes over the column so
-            // neither fights the other for execution ports: the first is a
-            // branch-free min/max/sum reduction the compiler can vectorize
-            // (the u128 widening only happens once per 8-lane chunk, off
-            // the lane-local u64 carry chain), the second is binning only.
-            // Staged batches are ~1 KiB columns, so the second pass reads
-            // L1-resident data; order-independence of every accumulator
-            // (DESIGN.md §14) is what makes the split legal at all.
-            let mut sum_c: u128 = 0;
-            let mut chunks = cycles.chunks_exact(8);
-            for ch in &mut chunks {
-                let mut lane: u64 = 0;
-                let mut carry: u128 = 0;
-                for &c in ch {
-                    max_c = max_c.max(c);
-                    min_c = min_c.min(c);
-                    let (s, o) = lane.overflowing_add(c);
-                    lane = s;
-                    carry += (o as u128) << 64;
-                }
-                sum_c += lane as u128 + carry;
-            }
-            for &c in chunks.remainder() {
+        // Pure integer fold, split into two passes over the column so
+        // neither fights the other for execution ports: the first is a
+        // branch-free min/max/sum reduction the compiler can vectorize
+        // (the u128 widening only happens once per 8-lane chunk, off
+        // the lane-local u64 carry chain), the second is binning only.
+        // Staged batches are ~1 KiB columns, so the second pass reads
+        // L1-resident data; order-independence of every accumulator
+        // (DESIGN.md §14) is what makes the split legal at all.
+        let mut sum_c: u128 = 0;
+        let mut chunks = cycles.chunks_exact(8);
+        for ch in &mut chunks {
+            let mut lane: u64 = 0;
+            let mut carry: u128 = 0;
+            for &c in ch {
                 max_c = max_c.max(c);
                 min_c = min_c.min(c);
-                sum_c += c as u128;
+                let (s, o) = lane.overflowing_add(c);
+                lane = s;
+                carry += (o as u128) << 64;
             }
-            let mut idx_chunks = cycles.chunks_exact(8);
-            for ch in &mut idx_chunks {
-                let mut idx = [0usize; 8];
-                for (k, &c) in ch.iter().enumerate() {
-                    idx[k] = cycle_bin(&self.binade_start, &self.edges_cycles, c);
-                }
-                for &i in &idx {
-                    self.counts[i] += 1;
-                }
-            }
-            for &c in idx_chunks.remainder() {
-                let idx = cycle_bin(&self.binade_start, &self.edges_cycles, c);
-                self.counts[idx] += 1;
-            }
-            self.epoch_add(sum_c, cycles.len() as u64);
+            sum_c += lane as u128 + carry;
         }
+        for &c in chunks.remainder() {
+            max_c = max_c.max(c);
+            min_c = min_c.min(c);
+            sum_c += c as u128;
+        }
+        let mut idx_chunks = cycles.chunks_exact(8);
+        for ch in &mut idx_chunks {
+            let mut idx = [0usize; 8];
+            for (k, &c) in ch.iter().enumerate() {
+                idx[k] = cycle_bin(&self.binade_start, &self.edges_cycles, c);
+            }
+            for &i in &idx {
+                self.counts[i] += 1;
+            }
+        }
+        for &c in idx_chunks.remainder() {
+            let idx = cycle_bin(&self.binade_start, &self.edges_cycles, c);
+            self.counts[idx] += 1;
+        }
+        self.epoch_add(sum_c, cycles.len() as u64);
         self.max_c = max_c;
         self.min_c = min_c;
         self.count += cycles.len() as u64;
@@ -367,7 +316,7 @@ impl LatencyHistogram {
     }
 
     /// Adds exact cycle-domain samples to the epoch for the current clock
-    /// rate (v2 only). `cur_epoch` is normally kept fresh by the
+    /// rate. `cur_epoch` is normally kept fresh by the
     /// rate-change branches, but it is re-derived here when stale — after
     /// a merge shifted indices, or when no rate-change branch ever ran
     /// (the degenerate first-call-at-rate-zero case).
@@ -460,14 +409,12 @@ impl LatencyHistogram {
 
     /// Mean (ms), 0 if empty.
     ///
-    /// v2 folds the exact per-epoch cycle sums to ms *here* — one
+    /// Folds the exact per-epoch cycle sums to ms *here* — one
     /// multiply-divide per epoch, in canonical ascending-rate order — and
     /// combines them with the float-path `sum_ms`. For a histogram fed only
     /// through the cycle paths `sum_ms` is exactly `0.0` and `0.0 + x == x`
     /// bit-for-bit (x is never `-0.0`), so the mean depends only on the
-    /// integer epoch state: permutation- and merge-order-independent. v1
-    /// histograms have empty `epochs`, so the fold degenerates to the
-    /// legacy `sum_ms / count`.
+    /// integer epoch state: permutation- and merge-order-independent.
     pub fn mean_ms(&self) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -480,9 +427,8 @@ impl LatencyHistogram {
         sum / self.count as f64
     }
 
-    /// Exact per-clock-rate cycle sums (the v2 accumulator state), sorted
-    /// by rate. Empty for v1 histograms and for histograms fed only
-    /// through [`Self::record_ms`].
+    /// Exact per-clock-rate cycle sums (the accumulator state), sorted by
+    /// rate. Empty for histograms fed only through [`Self::record_ms`].
     pub fn rate_epochs(&self) -> &[RateEpoch] {
         &self.epochs
     }
@@ -980,37 +926,12 @@ mod tests {
     }
 
     #[test]
-    fn record_cycles_is_bit_identical_to_ms_path_on_a_dense_sweep_v1() {
-        // The legacy v1 accumulator: integer binning plus the summary
-        // stats must match recording the converted ms value
-        // sample-for-sample, on and around every cycle count
-        // corresponding to a bin edge.
-        let cpu_hz = 300_000_000u64;
-        let mut fast = LatencyHistogram::fig4_v1();
-        let mut slow = LatencyHistogram::fig4_v1();
-        let samples = dense_sweep(cpu_hz);
-        for &c in &samples {
-            fast.record_cycles(Cycles(c), cpu_hz);
-            slow.record_ms(Cycles(c).as_ms_at(cpu_hz));
-        }
-        assert_eq!(fast.counts(), slow.counts());
-        assert_eq!(fast.count(), slow.count());
-        assert_eq!(fast.max_ms().to_bits(), slow.max_ms().to_bits());
-        assert_eq!(fast.min_ms().to_bits(), slow.min_ms().to_bits());
-        assert_eq!(fast.mean_ms().to_bits(), slow.mean_ms().to_bits());
-        assert_eq!(fast.fast_bin_samples(), samples.len() as u64);
-        assert_eq!(slow.fast_bin_samples(), 0);
-        assert!(fast.rate_epochs().is_empty(), "v1 must not build epochs");
-    }
-
-    #[test]
     fn v2_matches_ms_path_except_the_deferred_mean() {
-        // The v2 accumulator: bins, counts, and extremes stay bit-identical
-        // to the ms path (those are order-free in both modes); the mean is
-        // computed from the exact epoch sum and must equal the reference
-        // u128 fold exactly, and agree with the stream-order f64 mean to
-        // within relative rounding slack (last-ulp drift is the documented
-        // v1→v2 difference).
+        // Bins, counts, and extremes stay bit-identical to the ms path
+        // (those are order-free); the mean is computed from the exact
+        // epoch sum and must equal the reference u128 fold exactly, and
+        // agree with the stream-order f64 mean to within relative rounding
+        // slack (last-ulp drift is the documented stream-order difference).
         let cpu_hz = 300_000_000u64;
         let mut fast = LatencyHistogram::fig4();
         let mut slow = LatencyHistogram::fig4();

@@ -16,10 +16,14 @@
 //! - [`cause`] — the latency *cause* tool of §2.3: an IDT hook sampling the
 //!   interrupted context every tick, dumping a circular buffer on long
 //!   latencies, and symbolizing the samples into episode traces (Table 4).
+//! - [`blame`] — tail-episode forensics (DESIGN.md §15): cycle-exact blame
+//!   decomposition of triggered latency samples, with a bounded episode
+//!   store of flight-ring captures rendered as Perfetto traces.
 //! - [`report`] — text renderers for the figures and tables.
 //! - [`session`] — one-call measurement of a composed scenario: the
 //!   harness used by the benches and examples.
 
+pub mod blame;
 pub mod cause;
 pub mod histogram;
 pub mod interactive;
@@ -29,10 +33,10 @@ pub mod profiler;
 pub mod report;
 pub mod session;
 pub mod stage;
-pub mod stats;
 pub mod tool;
 pub mod worstcase;
 
+pub use blame::{BlameEpisode, BlameOptions, BlameRecorder, BlameSummary, BlameTrigger};
 pub use cause::{CauseTool, Episode};
 pub use interactive::InteractiveProbe;
 pub use legacy::{LegacyWin9xTool, PortabilityError};
@@ -41,6 +45,5 @@ pub use profiler::Profiler;
 pub use histogram::LatencyHistogram;
 pub use session::{measure_scenario, ScenarioMeasurement};
 pub use stage::SampleStage;
-pub use stats::{set_stats_v1, stats_v1};
 pub use tool::{LatencyTool, MeasurementSession, ToolResults, TruthCollector};
 pub use worstcase::{worst_cases, LatencySeries, WorstCases};

@@ -5,7 +5,7 @@
 //! and return every latency series needed for Figure 4, Table 3, Figure 5
 //! and Table 4.
 
-use std::{cell::RefCell, rc::Rc};
+use std::{cell::RefCell, collections::BTreeMap, rc::Rc};
 
 use wdm_osmodel::personality::OsKind;
 use wdm_sim::{
@@ -14,10 +14,17 @@ use wdm_sim::{
 use wdm_workloads::{build_scenario, ScenarioOptions, UsageModel, WorkloadKind};
 
 use crate::{
+    blame::{BlameOptions, BlameRecorder},
     cause::CauseTool,
     tool::MeasurementSession,
     worstcase::LatencySeries, //
 };
+
+/// One retained tail episode as it rides a [`ScenarioMeasurement`] between
+/// shards: the sample's latency (cycles, the global top-K sort key), its
+/// summary JSON, and its rendered trace document. Rendered inside the
+/// shard while its kernel is alive — names don't survive the kernel.
+pub type BlameEpisodePayload = (u64, String, String);
 
 /// Everything measured from one OS x workload cell.
 pub struct ScenarioMeasurement {
@@ -82,6 +89,18 @@ pub struct ScenarioMeasurement {
     /// [`MeasureOptions::flight`] was set. Rendered while the kernel is
     /// alive so names resolve; shards concatenate in time order.
     pub trace_events: Vec<String>,
+    /// Retained blame episodes, when [`MeasureOptions::blame`] was set
+    /// (arrival order within the shard; the assembler slots shard payloads
+    /// by index and re-applies the top-K bound globally). Deliberately a
+    /// separate field from `episodes`: cause-tool episode counts are part
+    /// of the pinned cell digest and forensics must stay digest-neutral.
+    pub blame_episodes: Vec<BlameEpisodePayload>,
+    /// Virtual-time flame samples by collapsed stack (`;`-joined frames,
+    /// outermost first), when [`MeasureOptions::flame_hz`] was set. Keyed
+    /// by rendered symbol strings — label ids are per-kernel and do not
+    /// survive shard merges. `u64` sums, so merges are exact and
+    /// order-independent.
+    pub flame: BTreeMap<String, u64>,
 }
 
 impl ScenarioMeasurement {
@@ -140,6 +159,10 @@ impl ScenarioMeasurement {
         self.step_dispatches += o.step_dispatches;
         self.metrics.merge_from(&o.metrics);
         self.trace_events.append(&mut o.trace_events);
+        self.blame_episodes.append(&mut o.blame_episodes);
+        for (stack, n) in o.flame {
+            *self.flame.entry(stack).or_insert(0) += n;
+        }
     }
 
     /// Merges a shard sequence (time order) into one cell measurement.
@@ -159,17 +182,18 @@ impl ScenarioMeasurement {
     /// into their absolute minutes ([`LatencySeries::merge_at`]), counters
     /// and metrics sum.
     ///
-    /// Two fields deliberately do **not** merge here because they are
+    /// Some fields deliberately do **not** merge here because they are
     /// positional or order-sensitive, and are left to the assembler:
     /// `collected_hours` (the caller re-folds shard hours in index order
     /// so the f64 bits match the sequential merge exactly) and the
-    /// episode/trace payloads, which are returned for slotting by shard
-    /// index.
+    /// episode/trace/blame payloads, which are returned for slotting by
+    /// shard index. The flame map *does* merge here: string-keyed `u64`
+    /// sums commute, so arrival order cannot show.
     pub fn merge_shard_at(
         &mut self,
         offset_minutes: usize,
         other: ScenarioMeasurement,
-    ) -> (Vec<String>, Vec<String>) {
+    ) -> (Vec<String>, Vec<String>, Vec<BlameEpisodePayload>) {
         assert_eq!(self.os, other.os, "shards must share the OS");
         assert_eq!(self.workload, other.workload, "shards must share the workload");
         let mut o = other;
@@ -184,7 +208,10 @@ impl ScenarioMeasurement {
         self.steps_executed += o.steps_executed;
         self.step_dispatches += o.step_dispatches;
         self.metrics.merge_from(&o.metrics);
-        (o.episodes, o.trace_events)
+        for (stack, n) in std::mem::take(&mut o.flame) {
+            *self.flame.entry(stack).or_insert(0) += n;
+        }
+        (o.episodes, o.trace_events, o.blame_episodes)
     }
 
     /// Shifts every series' completed blocks `offset_minutes` later in the
@@ -251,6 +278,15 @@ pub struct MeasureOptions {
     /// (`--no-batch-record`) folds every sample per-record — the reference
     /// path. Output is bit-identical either way.
     pub batch_record: bool,
+    /// Arm tail-episode forensics on the rt24/rt28 measurement threads
+    /// (DESIGN.md §15). A flight recorder is attached implicitly when
+    /// [`Self::flight`] is unset, so episode windows are never empty.
+    /// Digest-neutral: the recorder is read-only.
+    pub blame: Option<BlameOptions>,
+    /// Arm the virtual-time flame sampler at this rate (samples per
+    /// simulated second); fills [`ScenarioMeasurement::flame`].
+    /// Digest-neutral: sampling is pure observation of the label spans.
+    pub flame_hz: Option<f64>,
 }
 
 impl Default for MeasureOptions {
@@ -261,6 +297,8 @@ impl Default for MeasureOptions {
             cause_threshold_ms: None,
             flight: None,
             batch_record: true,
+            blame: None,
+            flame_hz: None,
         }
     }
 }
@@ -287,11 +325,34 @@ pub fn measure_scenario(
         scenario.kernel.add_observer(t.clone());
         t
     });
-    let flight = opts.flight.map(|f| {
+    // Blame capture needs a ring to snapshot; arm a default-sized one when
+    // forensics is on and the caller didn't ask for trace export.
+    let flight_opts = opts.flight.or_else(|| {
+        opts.blame.map(|_| FlightOptions::default())
+    });
+    let flight = flight_opts.map(|f| {
         let r = Rc::new(RefCell::new(FlightRecorder::new(f.capacity)));
         scenario.kernel.add_observer(r.clone());
         (r, f.pid)
     });
+    let blame = opts.blame.map(|b| {
+        let r = Rc::new(RefCell::new(BlameRecorder::new(
+            &scenario.kernel,
+            vec![
+                (session.rt24.thread, "rt24"),
+                (session.rt28.thread, "rt28"),
+            ],
+            b,
+            flight.as_ref().map(|(r, _)| r.clone()),
+        )));
+        scenario.kernel.add_observer(r.clone());
+        r
+    });
+    if let Some(hz) = opts.flame_hz {
+        assert!(hz > 0.0, "flame rate must be positive");
+        let period = (scenario.kernel.config().cpu_hz as f64 / hz).round().max(1.0) as u64;
+        scenario.kernel.set_flame_period(period);
+    }
 
     scenario
         .kernel
@@ -305,6 +366,8 @@ pub fn measure_scenario(
     session.flush();
     let batch_flushes = session.batch_flushes();
     let staged_samples = session.staged_samples();
+    // Read before `r28` takes its long-lived mutable borrow below.
+    let stage_peak = session.peak_staged();
 
     // Move the collected series out of the session rather than cloning:
     // hours-long cells hold millions of histogram bins and block maxima per
@@ -341,12 +404,43 @@ pub fn measure_scenario(
         .expect("watched thread has series");
     // Render trace events while the kernel is alive so thread/vector/DPC
     // names resolve; the recorder ring is dropped with the scenario.
-    let trace_events = flight
-        .map(|(r, pid)| {
-            let name = format!("{:?} x {:?} (seed {seed})", os, workload);
-            r.borrow().chrome_events(&scenario.kernel, pid, &name)
+    // A blame-implied recorder renders no export — the caller did not ask
+    // for a cell trace, only for episode windows.
+    let trace_events = if opts.flight.is_some() {
+        flight
+            .as_ref()
+            .map(|(r, pid)| {
+                let name = format!("{:?} x {:?} (seed {seed})", os, workload);
+                r.borrow().chrome_events(&scenario.kernel, *pid, &name)
+            })
+            .unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+    // Episode reports and traces render here too, for the same reason.
+    let blame_pid = flight_opts.map(|f| f.pid).unwrap_or(2);
+    let blame_episodes: Vec<BlameEpisodePayload> = blame
+        .as_ref()
+        .map(|r| {
+            r.borrow()
+                .episodes
+                .iter()
+                .map(|ep| {
+                    (
+                        ep.latency_cycles,
+                        ep.meta_json(),
+                        ep.render_trace(&scenario.kernel, blame_pid),
+                    )
+                })
+                .collect()
         })
         .unwrap_or_default();
+    let flame: BTreeMap<String, u64> = if opts.flame_hz.is_some() {
+        scenario.kernel.flame_collapsed().into_iter().collect()
+    } else {
+        BTreeMap::new()
+    };
+    let flight_peak = flight.as_ref().map(|(r, _)| r.borrow().peak_depth());
     let metrics = scenario.kernel.metrics_snapshot();
     let mut m = ScenarioMeasurement {
         os,
@@ -374,6 +468,8 @@ pub fn measure_scenario(
         step_dispatches: scenario.kernel.step_dispatches,
         metrics,
         trace_events,
+        blame_episodes,
+        flame,
     };
     // Measurement-layer metrics ride the same registry as the kernel's:
     // counters sum across shards exactly like the struct fields they
@@ -391,6 +487,39 @@ pub fn measure_scenario(
     // `samples_per_flush` from this).
     m.metrics.counter("latency.batch_flushes", batch_flushes);
     m.metrics.counter("latency.staged_samples", staged_samples);
+    // Occupancy gauges: high-water marks merge max-wins across shards
+    // (PR-6 gauge semantics), so the cell value is the worst shard's peak.
+    m.metrics.gauge("latency.stage.peak", stage_peak as f64);
+    if let Some(peak) = flight_peak {
+        m.metrics.gauge("sim.flight.ring_peak", peak as f64);
+    }
+    if let Some(b) = &blame {
+        let r = b.borrow();
+        let s = &r.summary;
+        m.metrics
+            .counter("latency.blame.watched_resumes", s.watched_resumes);
+        m.metrics.counter("latency.blame.triggered", s.triggered);
+        m.metrics.counter("latency.blame.evicted", s.evicted);
+        m.metrics
+            .counter("latency.blame.retained", r.episodes.len() as u64);
+        let t = &s.totals;
+        for (name, v) in [
+            ("latency.blame.isr_cycles", t.isr),
+            ("latency.blame.dpc_cycles", t.dpc),
+            ("latency.blame.masked_cycles", t.masked),
+            ("latency.blame.dispatch_cycles", t.dispatch),
+            ("latency.blame.preempt_cycles", t.preempt),
+            ("latency.blame.quantum_cycles", t.quantum),
+            ("latency.blame.idle_cycles", t.idle),
+        ] {
+            m.metrics.counter(name, v);
+        }
+        m.metrics.histogram(
+            "latency.blame.hist.triggered_ms",
+            r.triggered_hist.edges_ms().to_vec(),
+            r.triggered_hist.counts().to_vec(),
+        );
+    }
     let hists = [
         ("latency.hist.int_to_isr_ms", &m.int_to_isr),
         ("latency.hist.dpc_lat_ms", &m.dpc_lat),
@@ -484,6 +613,84 @@ mod tests {
             "games on 98 should produce >2 ms episodes"
         );
         assert!(m.episodes[0].contains("samples in"));
+    }
+
+    #[test]
+    fn forensics_capture_payloads_and_stay_digest_neutral() {
+        use wdm_sim::metrics::MetricValue;
+        let hours = 3.0 / 3600.0;
+        let base = measure_scenario(
+            OsKind::Win98,
+            WorkloadKind::Games,
+            11,
+            hours,
+            &MeasureOptions::default(),
+        );
+        let armed = measure_scenario(
+            OsKind::Win98,
+            WorkloadKind::Games,
+            11,
+            hours,
+            &MeasureOptions {
+                blame: Some(crate::blame::BlameOptions::default()),
+                flame_hz: Some(8000.0),
+                ..MeasureOptions::default()
+            },
+        );
+        // Everything the cell digest reads is bit-identical with forensics
+        // armed (the simulation trajectory is untouched).
+        assert_eq!(armed.sim_events, base.sim_events);
+        assert_eq!(armed.steps_executed, base.steps_executed);
+        assert_eq!(armed.ops_completed, base.ops_completed);
+        assert_eq!(armed.waits_24, base.waits_24);
+        assert_eq!(armed.waits_28, base.waits_28);
+        assert_eq!(armed.episodes.len(), base.episodes.len());
+        assert_eq!(
+            armed.thread_lat_24.hist.counts(),
+            base.thread_lat_24.hist.counts()
+        );
+        assert_eq!(
+            armed.thread_lat_24.hist.mean_ms().to_bits(),
+            base.thread_lat_24.hist.mean_ms().to_bits()
+        );
+        // Forensic payloads are present and well-formed.
+        assert!(!armed.blame_episodes.is_empty(), "top-K keeps episodes");
+        for (lat, meta, trace) in &armed.blame_episodes {
+            assert!(*lat > 0);
+            assert!(meta.starts_with("{\"ordinal\":"));
+            assert!(meta.contains("\"breakdown_cycles\":{"));
+            assert!(trace.starts_with("{\"traceEvents\":["));
+            assert!(trace.contains("\"cat\":\"blame\""));
+        }
+        assert!(!armed.flame.is_empty(), "flame sampler collected stacks");
+        assert!(armed.flame.values().all(|&n| n > 0));
+        // Blame aggregates ride the metrics registry...
+        let watched = armed
+            .metrics
+            .counter_value("latency.blame.watched_resumes")
+            .expect("blame counters present");
+        assert!(watched > 0);
+        assert!(matches!(
+            armed.metrics.get("latency.blame.hist.triggered_ms"),
+            Some(MetricValue::Histogram { .. })
+        ));
+        // ...alongside the occupancy gauges (satellite: real gauges).
+        for g in ["latency.stage.peak", "sim.flight.ring_peak"] {
+            match armed.metrics.get(g) {
+                Some(MetricValue::Gauge(v)) => assert!(*v > 0.0, "{g} must be positive"),
+                other => panic!("{g} missing or wrong kind: {other:?}"),
+            }
+        }
+        // The bare run has the stage gauge too (it is unconditional) but
+        // no blame counters and no flight gauge.
+        assert!(matches!(
+            base.metrics.get("latency.stage.peak"),
+            Some(MetricValue::Gauge(_))
+        ));
+        assert!(base.metrics.get("latency.blame.triggered").is_none());
+        assert!(base.metrics.get("sim.flight.ring_peak").is_none());
+        assert!(base.blame_episodes.is_empty());
+        assert!(base.flame.is_empty());
     }
 
     #[test]

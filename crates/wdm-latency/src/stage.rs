@@ -8,16 +8,14 @@
 //! each series one dense run, which it folds with the hoisted-check batch
 //! loops in [`crate::histogram`] and [`crate::worstcase`].
 //!
-//! Digest contract: under the v2 exact accumulators (DESIGN.md §14) every
+//! Digest contract: under the exact accumulators (DESIGN.md §14) every
 //! per-series fold is associative and commutative — integer bin counts,
 //! `u64` extremes, `u128` epoch sums, per-block maxima — so the partition
 //! does **not** need to preserve arrival order; the scatter runs end-first
 //! (provably unordered: each run comes out reversed) and staged recording
-//! is still bit-identical to per-sample recording. Under `--stats-v1` the
-//! legacy digest contract applies (DESIGN.md §13): `sum_ms` folds in
-//! stream order within each series, so the partition falls back to the
-//! stable forward scatter. The `batch_record_equivalence` and
-//! `stats_order_invariance` proptest oracles enforce both.
+//! is still bit-identical to per-sample recording. The
+//! `batch_record_equivalence` and `stats_order_invariance` proptest
+//! oracles enforce this.
 //!
 //! Flush points: capacity (the columns never reallocate in steady state),
 //! a minute-block boundary (keeps batches inside one block so the
@@ -57,10 +55,10 @@ pub struct SampleStage {
     /// Per-series run start within the partitioned scratch (prefix sums of
     /// `counts`); doubles as the scatter cursor during partitioning.
     starts: Vec<u32>,
-    /// Snapshot of [`crate::stats::stats_v1`] at construction: `true`
-    /// selects the stable (order-preserving) partition the legacy
-    /// accumulator requires.
-    stats_v1: bool,
+    /// High-water mark of staged triples, observed at flush time (the
+    /// columns are fullest right before a drain). Feeds the
+    /// `latency.stage.peak` gauge.
+    peak_staged: usize,
     /// One minute in cycles — the block-boundary flush trigger. 0 disables
     /// the boundary trigger (stages that feed block-free sinks).
     block_len: u64,
@@ -82,16 +80,6 @@ impl SampleStage {
 
     /// Creates a stage with an explicit soft capacity (tests).
     pub fn with_capacity(block_len: u64, capacity: usize) -> SampleStage {
-        SampleStage::with_capacity_mode(block_len, capacity, crate::stats::stats_v1())
-    }
-
-    /// [`Self::with_capacity`] forced to the legacy v1 stable partition,
-    /// for tests and compatibility oracles.
-    pub fn with_capacity_v1(block_len: u64, capacity: usize) -> SampleStage {
-        SampleStage::with_capacity_mode(block_len, capacity, true)
-    }
-
-    fn with_capacity_mode(block_len: u64, capacity: usize, stats_v1: bool) -> SampleStage {
         assert!(capacity > 0, "stage capacity must be positive");
         let cap = capacity + STAGE_SLACK;
         SampleStage {
@@ -103,7 +91,7 @@ impl SampleStage {
             part_lat: vec![0; cap],
             counts: Vec::new(),
             starts: Vec::new(),
-            stats_v1,
+            peak_staged: 0,
             block_len,
             cur_block_end: block_len,
             batch_flushes: 0,
@@ -150,48 +138,27 @@ impl SampleStage {
     /// columns. After this, [`Self::run`] exposes each series' samples as
     /// one dense run. Call [`Self::reset`] once every run is folded.
     ///
-    /// v2 scatters **end-first**: the prefix sums are run *end* positions
-    /// and each sample decrements its cursor before storing, so the
-    /// cursors land exactly on the run starts with no rewind pass — and
-    /// each run comes out in reversed arrival order, which the
-    /// order-independent v2 folds are free to accept (DESIGN.md §14). v1
-    /// keeps the stable forward scatter (count, prefix-sum, scatter,
-    /// rewind) that its stream-order `sum_ms` fold requires.
+    /// The scatter runs **end-first**: the prefix sums are run *end*
+    /// positions and each sample decrements its cursor before storing, so
+    /// the cursors land exactly on the run starts with no rewind pass —
+    /// and each run comes out in reversed arrival order, which the
+    /// order-independent folds are free to accept (DESIGN.md §14).
     pub fn partition(&mut self) {
         self.counts.fill(0);
         for &s in &self.sid {
             self.counts[s as usize] += 1;
         }
-        if self.stats_v1 {
-            let mut acc = 0u32;
-            for (start, &count) in self.starts.iter_mut().zip(&self.counts) {
-                *start = acc;
-                acc += count;
-            }
-            for k in 0..self.now.len() {
-                let s = self.sid[k] as usize;
-                let dst = self.starts[s] as usize;
-                self.part_now[dst] = self.now[k];
-                self.part_lat[dst] = self.lat[k];
-                self.starts[s] += 1;
-            }
-            // The scatter advanced each cursor past its run; rewind.
-            for (start, &count) in self.starts.iter_mut().zip(&self.counts) {
-                *start -= count;
-            }
-        } else {
-            let mut acc = 0u32;
-            for (end, &count) in self.starts.iter_mut().zip(&self.counts) {
-                acc += count;
-                *end = acc;
-            }
-            for k in 0..self.now.len() {
-                let s = self.sid[k] as usize;
-                self.starts[s] -= 1;
-                let dst = self.starts[s] as usize;
-                self.part_now[dst] = self.now[k];
-                self.part_lat[dst] = self.lat[k];
-            }
+        let mut acc = 0u32;
+        for (end, &count) in self.starts.iter_mut().zip(&self.counts) {
+            acc += count;
+            *end = acc;
+        }
+        for k in 0..self.now.len() {
+            let s = self.sid[k] as usize;
+            self.starts[s] -= 1;
+            let dst = self.starts[s] as usize;
+            self.part_now[dst] = self.now[k];
+            self.part_lat[dst] = self.lat[k];
         }
     }
 
@@ -215,6 +182,7 @@ impl SampleStage {
     /// on the per-push hot path).
     pub fn reset(&mut self) {
         self.staged_samples += self.now.len() as u64;
+        self.peak_staged = self.peak_staged.max(self.now.len());
         self.now.clear();
         self.lat.clear();
         self.sid.clear();
@@ -230,6 +198,14 @@ impl SampleStage {
     /// triples still in the columns appear after the next [`Self::reset`].
     pub fn staged_samples(&self) -> u64 {
         self.staged_samples
+    }
+
+    /// High-water mark of staged triples: the fullest the columns ever got
+    /// at a drain point, including triples not yet drained. Bounded by the
+    /// soft capacity plus the private push slack (`STAGE_SLACK`) by
+    /// construction.
+    pub fn peak_staged(&self) -> usize {
+        self.peak_staged.max(self.now.len())
     }
 }
 
@@ -250,17 +226,30 @@ mod tests {
     }
 
     #[test]
-    fn v1_partition_is_a_stable_per_series_sort() {
-        let mut st = SampleStage::with_capacity_v1(0, 16);
-        let (a, b) = stage_fixture(&mut st);
+    fn peak_staged_is_a_high_water_mark() {
+        let mut st = SampleStage::with_capacity(0, 16);
+        let s = st.register_series(1);
+        assert_eq!(st.peak_staged(), 0);
+        for t in 0..5u64 {
+            st.push(s, Instant(t), Cycles(1));
+        }
+        // Undrained triples count toward the peak immediately.
+        assert_eq!(st.peak_staged(), 5);
         st.partition();
-        assert_eq!(st.run(a), (&[1u64, 3, 5][..], &[10u64, 30, 50][..]));
-        assert_eq!(st.run(b), (&[4u64][..], &[40u64][..]));
-        assert_eq!(st.run(b + 1), (&[2u64][..], &[20u64][..]));
         st.reset();
-        assert!(st.is_empty());
-        assert_eq!(st.batch_flushes(), 1);
-        assert_eq!(st.staged_samples(), 5);
+        // Draining does not lower the mark; a smaller batch doesn't either.
+        assert_eq!(st.peak_staged(), 5);
+        st.push(s, Instant(10), Cycles(1));
+        st.partition();
+        st.reset();
+        assert_eq!(st.peak_staged(), 5);
+        // A fuller batch raises it.
+        for t in 0..9u64 {
+            st.push(s, Instant(20 + t), Cycles(1));
+        }
+        st.partition();
+        st.reset();
+        assert_eq!(st.peak_staged(), 9);
     }
 
     #[test]

@@ -55,10 +55,9 @@ pub struct ToolResults {
     /// series above in declaration order.
     stage: SampleStage,
     /// Batched recording on (the default). Off = the per-sample reference
-    /// path (`--no-batch-record`); bit-identical output either way — under
-    /// v2 because every series accumulator is order-free exact integer
-    /// state (DESIGN.md §14), under `--stats-v1` because the stage's
-    /// stable partition preserves stream order per series (§13).
+    /// path (`--no-batch-record`); bit-identical output either way because
+    /// every series accumulator is order-free exact integer state
+    /// (DESIGN.md §14).
     batch: bool,
 }
 
@@ -97,6 +96,11 @@ impl ToolResults {
     /// Samples that went through the stage (bench accounting).
     pub fn staged_samples(&self) -> u64 {
         self.stage.staged_samples()
+    }
+
+    /// High-water mark of staged triples (the stage-occupancy gauge).
+    pub fn peak_staged(&self) -> usize {
+        self.stage.peak_staged()
     }
 }
 
@@ -465,6 +469,11 @@ impl TruthCollector {
         self.stage.staged_samples()
     }
 
+    /// High-water mark of staged triples (the stage-occupancy gauge).
+    pub fn peak_staged(&self) -> usize {
+        self.stage.peak_staged()
+    }
+
     /// Watches a measurement tool's DPC and thread.
     pub fn watch_tool(&mut self, tool: &LatencyTool) {
         self.watch_dpc(tool.dpc);
@@ -644,6 +653,17 @@ impl MeasurementSession {
         self.rt28.results.borrow().staged_samples()
             + self.rt24.results.borrow().staged_samples()
             + self.truth.borrow().staged_samples()
+    }
+
+    /// Largest high-water mark among the session's staging buffers — the
+    /// source of the `latency.stage.peak` gauge (max-wins across shards).
+    pub fn peak_staged(&self) -> usize {
+        self.rt28
+            .results
+            .borrow()
+            .peak_staged()
+            .max(self.rt24.results.borrow().peak_staged())
+            .max(self.truth.borrow().peak_staged())
     }
 }
 

@@ -187,3 +187,51 @@ fn measurement_merge_keeps_metrics_consistent_with_counters() {
         other => panic!("histogram metric missing: {other:?}"),
     }
 }
+
+/// The occupancy gauges (stage high-water, calendar heap peak, flight
+/// ring depth) are per-shard high-water marks: the merged value must be
+/// the max across shards, in either merge order.
+#[test]
+fn occupancy_gauges_merge_max_wins_in_either_order() {
+    let one_minute = 1.0 / 60.0;
+    let run = |seed: u64| {
+        let mut m = measure_scenario(
+            OsKind::Win98,
+            WorkloadKind::Games,
+            seed,
+            one_minute,
+            &MeasureOptions {
+                blame: Some(wdm_latency::BlameOptions::default()),
+                ..MeasureOptions::default()
+            },
+        );
+        m.close_blocks(1);
+        m
+    };
+    let gauge = |m: &ScenarioMeasurement, name: &str| -> f64 {
+        match m.metrics.get(name) {
+            Some(MetricValue::Gauge(v)) => *v,
+            other => panic!("{name} missing or wrong kind: {other:?}"),
+        }
+    };
+    let (a, b) = (run(41), run(42));
+    let names = [
+        "latency.stage.peak",
+        "sim.calendar.peak_entries",
+        "sim.flight.ring_peak",
+    ];
+    let want: Vec<f64> = names
+        .iter()
+        .map(|name| {
+            let (ga, gb) = (gauge(&a, name), gauge(&b, name));
+            assert!(ga > 0.0 && gb > 0.0, "{name} must be observed on both shards");
+            ga.max(gb)
+        })
+        .collect();
+    let ab = ScenarioMeasurement::merge_shards(vec![a, b]);
+    let ba = ScenarioMeasurement::merge_shards(vec![run(42), run(41)]);
+    for (name, want) in names.iter().zip(want) {
+        assert_eq!(gauge(&ab, name).to_bits(), want.to_bits(), "{name}");
+        assert_eq!(gauge(&ba, name).to_bits(), want.to_bits(), "{name}");
+    }
+}

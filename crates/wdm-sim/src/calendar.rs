@@ -245,6 +245,10 @@ pub struct Calendar {
     /// Thread wait deadlines/sleeps, validated against the thread table's
     /// `deadline_gen` column.
     waits: DeadlineHeap,
+    /// Peak total armed entries across all three queues (stale entries
+    /// included — they occupy memory). Source for the
+    /// `sim.calendar.peak_entries` gauge.
+    peak_entries: usize,
 }
 
 impl Calendar {
@@ -256,7 +260,19 @@ impl Calendar {
             env_seq: 0,
             timers: DeadlineHeap::new(),
             waits: DeadlineHeap::new(),
+            peak_entries: 0,
         }
+    }
+
+    /// Peak total armed entries across the env/timer/wait queues so far.
+    pub fn peak_entries(&self) -> usize {
+        self.peak_entries
+    }
+
+    /// Folds the current occupancy into the peak; called after each arm.
+    fn note_peak(&mut self) {
+        let occupancy = self.env.len() + self.timers.len() + self.waits.len();
+        self.peak_entries = self.peak_entries.max(occupancy);
     }
 
     /// The next hardware wakeup: the earlier of the PIT tick and the next
@@ -303,16 +319,19 @@ impl Calendar {
     pub fn schedule_env(&mut self, idx: usize, at: Instant) {
         self.env_seq += 1;
         self.env.push(Reverse((at.0, self.env_seq, idx)));
+        self.note_peak();
     }
 
     /// Arms a timer's calendar entry at its current generation.
     pub fn arm_timer(&mut self, idx: u32, deadline: Instant, gen: u64) {
         self.timers.push(deadline, idx, gen);
+        self.note_peak();
     }
 
     /// Arms a thread-wait calendar entry at its current generation.
     pub fn arm_wait(&mut self, idx: u32, deadline: Instant, gen: u64) {
         self.waits.push(deadline, idx, gen);
+        self.note_peak();
     }
 
     /// Records that an armed timer's live entry went stale (cancel or
@@ -456,6 +475,21 @@ mod tests {
         assert_eq!(c.pop_due_env(Instant(500)), Some(7), "ties fire in schedule order");
         assert_eq!(c.pop_due_env(Instant(500)), Some(3));
         assert_eq!(c.pop_due_env(Instant(500)), None);
+    }
+
+    #[test]
+    fn peak_entries_is_a_high_water_mark() {
+        let mut c = Calendar::new(Pit::new(Cycles(100)));
+        assert_eq!(c.peak_entries(), 0);
+        c.schedule_env(0, Instant(10));
+        c.arm_timer(0, Instant(20), 0);
+        c.arm_wait(0, Instant(30), 0);
+        assert_eq!(c.peak_entries(), 3);
+        assert_eq!(c.pop_due_env(Instant(10)), Some(0));
+        c.schedule_env(0, Instant(40));
+        assert_eq!(c.peak_entries(), 3, "draining must not lower the peak");
+        c.arm_timer(1, Instant(50), 0);
+        assert_eq!(c.peak_entries(), 4, "a new high water raises it");
     }
 
     #[test]

@@ -177,6 +177,28 @@ impl FlightRecorder {
         self.ring.is_empty()
     }
 
+    /// Peak ring occupancy so far — the source for the
+    /// `sim.flight.ring_peak` gauge. The ring only ever grows toward its
+    /// capacity (eviction happens on push), so the peak is the smaller of
+    /// the total observed and the capacity.
+    pub fn peak_depth(&self) -> u64 {
+        self.total.min(self.capacity as u64)
+    }
+
+    /// Copies out the retained events whose timestamp falls in
+    /// `[lo, hi]`, oldest first — the episode-capture window of the blame
+    /// tool. The ring is time-ordered, so this is one bounded scan.
+    pub fn events_in(&self, lo: Instant, hi: Instant) -> Vec<FlightEvent> {
+        self.ring
+            .iter()
+            .filter(|e| {
+                let at = e.at();
+                at >= lo && at <= hi
+            })
+            .copied()
+            .collect()
+    }
+
     /// Renders the retained events as Chrome trace-event JSON objects, one
     /// serialized object per element (no enclosing array). `k` supplies
     /// names and the clock rate, `pid` groups the events into one Perfetto
@@ -189,9 +211,25 @@ impl FlightRecorder {
     /// quantum expiries become instants (`"ph":"i"`) on the scheduler
     /// track. Metadata (`process_name`, `thread_name`) rides first.
     pub fn chrome_events(&self, k: &Kernel, pid: u64, process_name: &str) -> Vec<String> {
+        let events: Vec<FlightEvent> = self.ring.iter().copied().collect();
+        chrome_events_slice(k, pid, process_name, &events)
+    }
+}
+
+/// Renders an arbitrary time-ordered event slice as Chrome trace-event
+/// JSON objects — the span-synthesis core of
+/// [`FlightRecorder::chrome_events`], exposed so episode captures (bounded
+/// windows copied out of the ring) render identically to full rings.
+pub fn chrome_events_slice(
+    k: &Kernel,
+    pid: u64,
+    process_name: &str,
+    events: &[FlightEvent],
+) -> Vec<String> {
+    {
         let hz = k.config().cpu_hz as f64;
         let us = |t: Instant| t.0 as f64 * 1e6 / hz;
-        let mut out = Vec::with_capacity(self.ring.len() + 16);
+        let mut out = Vec::with_capacity(events.len() + 16);
 
         out.push(format!(
             "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\
@@ -223,7 +261,7 @@ impl FlightRecorder {
         // closes it. A run still open at the last retained event is closed
         // there so Perfetto never sees an unbounded span.
         let mut running: Option<(ThreadId, Instant)> = None;
-        let last_at = self.ring.back().map(|e| e.at());
+        let last_at = events.last().map(|e| e.at());
         let close_run = |out: &mut Vec<String>, t: ThreadId, from: Instant, to: Instant| {
             out.push(format!(
                 "{{\"ph\":\"X\",\"name\":\"run\",\"cat\":\"thread\",\"pid\":{pid},\
@@ -234,7 +272,7 @@ impl FlightRecorder {
             ));
         };
 
-        for e in &self.ring {
+        for e in events {
             match *e {
                 FlightEvent::Isr {
                     vector,
@@ -492,6 +530,66 @@ mod tests {
         assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
         assert_eq!(json_f64(3.0), "3");
         assert_eq!(json_f64(3.25), "3.25");
+    }
+
+    #[test]
+    fn json_str_escapes_edge_cases() {
+        assert_eq!(json_str(""), "\"\"");
+        assert_eq!(json_str("plain name"), "\"plain name\"");
+        assert_eq!(json_str("q\"q"), "\"q\\\"q\"");
+        assert_eq!(json_str("b\\b"), "\"b\\\\b\"");
+        assert_eq!(json_str("\\\""), "\"\\\\\\\"\"");
+        assert_eq!(json_str("\n\t\r"), "\"\\n\\t\\r\"");
+        assert_eq!(json_str("\u{0}"), "\"\\u0000\"");
+        assert_eq!(json_str("\u{1}x\u{1f}"), "\"\\u0001x\\u001f\"");
+        // Non-ASCII passes through unescaped (JSON allows raw UTF-8).
+        assert_eq!(json_str("µ/señal"), "\"µ/señal\"");
+    }
+
+    #[test]
+    fn empty_ring_renders_metadata_only() {
+        let k = Kernel::new(KernelConfig::default());
+        let rec = FlightRecorder::new(8);
+        assert!(rec.is_empty());
+        assert_eq!(rec.peak_depth(), 0);
+        let events = rec.chrome_events(&k, 1, "empty cell");
+        assert!(!events.is_empty(), "metadata still rides first");
+        assert!(events.iter().all(|e| e.contains("\"ph\":\"M\"")));
+        let doc = chrome_document(&events);
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.trim_end().ends_with("\"displayTimeUnit\":\"ms\"}"));
+        // The slice renderer agrees on an explicitly empty window.
+        let none = chrome_events_slice(&k, 1, "empty cell", &[]);
+        assert_eq!(none, events);
+    }
+
+    #[test]
+    fn events_in_copies_the_window() {
+        let (_k, rec) = run_kernel_with(4096, 50.0);
+        let r = rec.borrow();
+        assert!(r.len() > 4);
+        let times: Vec<Instant> = r.events().map(|e| e.at()).collect();
+        let lo = times[1];
+        let hi = times[times.len() - 2];
+        let window = r.events_in(lo, hi);
+        let expected = times.iter().filter(|t| **t >= lo && **t <= hi).count();
+        assert_eq!(window.len(), expected);
+        assert!(window.iter().all(|e| e.at() >= lo && e.at() <= hi));
+        // An empty window is empty, not an error.
+        assert!(r.events_in(hi + crate::time::Cycles(1), hi + crate::time::Cycles(2)).len()
+            <= times.iter().filter(|t| **t > hi).count());
+        assert_eq!(r.events_in(Instant(u64::MAX - 1), Instant(u64::MAX)).len(), 0);
+    }
+
+    #[test]
+    fn peak_depth_tracks_capacity_bound() {
+        let (_k, rec) = run_kernel_with(32, 100.0);
+        let r = rec.borrow();
+        assert_eq!(r.peak_depth(), 32, "saturated ring peaks at capacity");
+        let (_k2, rec2) = run_kernel_with(1 << 20, 1.0);
+        let r2 = rec2.borrow();
+        assert!(r2.total < 1 << 20);
+        assert_eq!(r2.peak_depth(), r2.total, "unsaturated ring peaks at total");
     }
 
     #[test]

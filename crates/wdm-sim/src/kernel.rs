@@ -41,8 +41,8 @@ use crate::{
     labels::{Label, SymbolTable},
     object::{EventKind, KEvent, KMutex, KSemaphore},
     observer::{
-        CalendarPop, CalendarPopKind, DpcStart, Interest, IsrEnter, Observer, QuantumExpiry,
-        ThreadResume,
+        BlameBreakdown, CalendarPop, CalendarPopKind, DpcStart, Interest, IsrEnter, Observer,
+        QuantumExpiry, ResumeBlame, ThreadResume,
     },
     arena::{ThreadTable, TimerTable},
     sched::ReadyQueues,
@@ -164,6 +164,17 @@ impl CycleAccount {
     }
 }
 
+/// Snapshot of the blame ledgers at the instant a thread was readied,
+/// stored inline in its [`Tcb`] (fixed-size copies, no allocation). The
+/// resume emit subtracts it from the live ledgers to produce the exact
+/// [`BlameBreakdown`] for the window.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BlameMark {
+    pub(crate) account: CycleAccount,
+    pub(crate) overhead: u64,
+    pub(crate) prio: [u64; 32],
+}
+
 /// Shared handle to an observer; keep a clone to read results after a run.
 pub type ObserverHandle<T> = Rc<RefCell<T>>;
 
@@ -243,6 +254,24 @@ pub struct Kernel {
     /// The `sim_primitives` bench asserts this stays zero for event kinds
     /// outside the registered interest union.
     pub notify_takes: u64,
+    /// Dispatch/context-switch overhead cycles, maintained only while an
+    /// observer arms [`Interest::RESUME_BLAME`]. Together with
+    /// `blame_prio_cycles` this splits `account.thread` exactly, so a
+    /// resume window's blame components sum bit-exactly to its latency
+    /// (DESIGN.md §15). One branch per charge site when disarmed.
+    blame_overhead_cycles: u64,
+    /// Thread *program* cycles by the running thread's priority, the other
+    /// half of the armed-only `account.thread` split.
+    blame_prio_cycles: [u64; 32],
+    /// Virtual-time flame sampling period in cycles; 0 = disarmed. When
+    /// armed, every simulated-time advance attributes the sample points
+    /// (multiples of the period) it crosses to the executing label —
+    /// purely observational, so digests are unchanged, and per-step
+    /// charging in the fused paths keeps the counts independent of
+    /// batching and compilation.
+    flame_period: u64,
+    /// Virtual samples per label (dense by [`Label`] index).
+    flame_counts: Vec<u64>,
     /// Preemption horizon of the current decision-loop iteration: the
     /// earliest instant at which anything other than the running busy
     /// chunk can need the CPU (next calendar wakeup or `run_until`'s end).
@@ -315,6 +344,10 @@ impl Kernel {
             batched_steps: 0,
             compiled_steps: 0,
             notify_takes: 0,
+            blame_overhead_cycles: 0,
+            blame_prio_cycles: [0; 32],
+            flame_period: 0,
+            flame_counts: Vec::new(),
             horizon: Instant::ZERO,
             batching: true,
             compiling: true,
@@ -714,7 +747,111 @@ impl Kernel {
         m.counter("sim.cycles.section", self.account.section);
         m.counter("sim.cycles.thread", self.account.thread);
         m.counter("sim.cycles.idle", self.account.idle);
+        m.gauge(
+            "sim.calendar.peak_entries",
+            self.calendar.peak_entries() as f64,
+        );
         m
+    }
+
+    // ------------------------------------------------------------------
+    // Virtual-time flame sampling (DESIGN.md §15)
+    // ------------------------------------------------------------------
+
+    /// Arms the deterministic virtual-time flame sampler: every multiple
+    /// of `cycles` simulated time crosses counts one sample against the
+    /// label executing at that instant. 0 disarms. Purely observational —
+    /// run digests are unchanged — and per-step charging in the fused
+    /// paths makes the counts independent of batching and compilation.
+    pub fn set_flame_period(&mut self, cycles: u64) {
+        self.flame_period = cycles;
+    }
+
+    /// Virtual flame samples per label, dense by [`Label`] index.
+    pub fn flame_counts(&self) -> &[u64] {
+        &self.flame_counts
+    }
+
+    /// Renders the flame samples as collapsed-stack lines — `;`-joined
+    /// frame paths, outermost caller first, with their sample counts —
+    /// the format `inferno`/`flamegraph.pl` consume. Deterministic:
+    /// one line per sampled label, in label-index order.
+    pub fn flame_collapsed(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for (i, &n) in self.flame_counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let mut frames = Vec::new();
+            let mut cur = Some(Label(i as u32));
+            let mut depth = 0;
+            while let Some(l) = cur {
+                frames.push(self.symbols.render(l));
+                cur = self.symbols.parent(l);
+                depth += 1;
+                if depth > 32 {
+                    break; // Cyclic registration guard, as in render_chain.
+                }
+            }
+            frames.reverse();
+            out.push((frames.join(";"), n));
+        }
+        out
+    }
+
+    /// Counts the sample points in `(from, to]` against `label`. Floor
+    /// arithmetic telescopes over adjacent spans, so however a busy chunk
+    /// is subdivided (preemptions, batching) the total is conserved.
+    #[inline]
+    fn flame_charge(&mut self, from: Instant, to: Instant, label: Label) {
+        let p = self.flame_period;
+        debug_assert!(p != 0, "flame_charge while disarmed");
+        let k = to.0 / p - from.0 / p;
+        if k > 0 {
+            let i = label.0 as usize;
+            if i >= self.flame_counts.len() {
+                self.flame_counts.resize(i + 1, 0);
+            }
+            self.flame_counts[i] += k;
+        }
+    }
+
+    /// Builds the exact blame decomposition for a resume window from the
+    /// ledger deltas since `mark` (taken when the thread was readied).
+    fn build_resume_blame(&self, t: ThreadId, readied: Instant, mark: &BlameMark) -> ResumeBlame {
+        let a = &self.account;
+        let m = &mark.account;
+        let priority = self.threads.priority[t.0];
+        let mut preempt = 0u64;
+        let mut quantum = 0u64;
+        for (pr, (&live, &was)) in self
+            .blame_prio_cycles
+            .iter()
+            .zip(mark.prio.iter())
+            .enumerate()
+        {
+            let d = live - was;
+            if pr as u8 > priority {
+                preempt += d;
+            } else {
+                quantum += d;
+            }
+        }
+        ResumeBlame {
+            thread: t,
+            priority,
+            readied,
+            started: self.now,
+            breakdown: BlameBreakdown {
+                isr: a.isr - m.isr,
+                dpc: a.dpc - m.dpc,
+                masked: (a.cli - m.cli) + (a.section - m.section),
+                dispatch: self.blame_overhead_cycles - mark.overhead,
+                preempt,
+                quantum,
+                idle: a.idle - m.idle,
+            },
+        }
     }
 
     // ------------------------------------------------------------------
@@ -890,6 +1027,10 @@ impl Kernel {
             self.now = next;
             return;
         }
+        // Label the span for the flame sampler; idle residue samples as
+        // the idle loop without touching `current_label` (which keeps its
+        // "most recently executed" semantics for the cause tool).
+        let mut span_label = Label::IDLE;
         // Identify the active busy chunk: top frame or current thread.
         if let Some(top) = self.frames.last_mut() {
             if let ExecState::Busy { remaining, label } = &mut top.exec {
@@ -899,6 +1040,7 @@ impl Kernel {
                 }
                 *remaining = remaining.saturating_sub(delta);
                 self.current_label = *label;
+                span_label = *label;
                 match top.kind {
                     FrameKind::Isr { .. } => self.account.isr += delta.0,
                     FrameKind::DpcDrain { .. } => self.account.dpc += delta.0,
@@ -919,17 +1061,31 @@ impl Kernel {
                 }
                 *remaining = remaining.saturating_sub(delta);
                 self.current_label = *label;
+                span_label = *label;
                 if !self.threads.in_overhead[i] {
                     self.threads.quantum_remaining[i] =
                         self.threads.quantum_remaining[i].saturating_sub(delta);
                 }
                 self.account.thread += delta.0;
+                // Blame armed: split the thread charge into dispatch
+                // overhead vs program work by the running priority, so a
+                // resume window's components reconstruct it exactly.
+                if self.wants(Interest::RESUME_BLAME) {
+                    if self.threads.in_overhead[i] {
+                        self.blame_overhead_cycles += delta.0;
+                    } else {
+                        self.blame_prio_cycles[self.threads.priority[i] as usize] += delta.0;
+                    }
+                }
             } else {
                 self.account.idle += delta.0;
             }
         } else {
             self.current_label = Label::IDLE;
             self.account.idle += delta.0;
+        }
+        if self.flame_period != 0 {
+            self.flame_charge(self.now, next, span_label);
         }
         self.now = next;
     }
@@ -1440,6 +1596,9 @@ impl Kernel {
                             _ => unreachable!("step loop on a cli/section frame"),
                         }
                         self.current_label = label;
+                        if self.flame_period != 0 {
+                            self.flame_charge(self.now, end, label);
+                        }
                         self.now = end;
                         self.sim_events += 1;
                         self.batched_steps += 1;
@@ -1553,6 +1712,16 @@ impl Kernel {
                                 self.account.dpc += sum.0;
                             }
                             self.current_label = last.label;
+                            if self.flame_period != 0 {
+                                // Per-chunk charging keeps the flame counts
+                                // identical to the single-step path.
+                                let mut at = self.now;
+                                for j in pc..=m {
+                                    let b = block.busy(j);
+                                    self.flame_charge(at, at + b.cycles, b.label);
+                                    at = at + b.cycles;
+                                }
+                            }
                             self.now = self.now + sum;
                             self.sim_events += k;
                             self.batched_steps += k;
@@ -1693,6 +1862,22 @@ impl Kernel {
                                 started: self.now,
                             };
                             self.notify(Interest::THREAD_RESUME, |o, k| o.on_thread_resume(k), &e);
+                        }
+                        let mark = self.threads[i].blame_mark.take();
+                        if self.wants(Interest::RESUME_BLAME) {
+                            if let Some(mark) = mark {
+                                let e = self.build_resume_blame(t, readied, &mark);
+                                debug_assert_eq!(
+                                    e.breakdown.total(),
+                                    (e.started - e.readied).0,
+                                    "blame components must sum to the latency"
+                                );
+                                self.notify(
+                                    Interest::RESUME_BLAME,
+                                    |o, k| o.on_resume_blame(k),
+                                    &e,
+                                );
+                            }
                         }
                     }
                 } else {
@@ -1863,7 +2048,21 @@ impl Kernel {
                                     self.threads.quantum_remaining[i] =
                                         self.threads.quantum_remaining[i].saturating_sub(sum);
                                     self.account.thread += sum.0;
+                                    if self.wants(Interest::RESUME_BLAME) {
+                                        // Never overhead here (asserted
+                                        // above): pure program work.
+                                        self.blame_prio_cycles
+                                            [self.threads.priority[i] as usize] += sum.0;
+                                    }
                                     self.current_label = last.label;
+                                    if self.flame_period != 0 {
+                                        let mut at = self.now;
+                                        for j in pc..=m {
+                                            let b = block.busy(j);
+                                            self.flame_charge(at, at + b.cycles, b.label);
+                                            at = at + b.cycles;
+                                        }
+                                    }
                                     self.now = self.now + sum;
                                     self.sim_events += k;
                                     self.batched_steps += k;
@@ -1939,7 +2138,13 @@ impl Kernel {
                         self.threads.quantum_remaining[i] =
                             self.threads.quantum_remaining[i].saturating_sub(cycles);
                         self.account.thread += cycles.0;
+                        if self.wants(Interest::RESUME_BLAME) {
+                            self.blame_prio_cycles[self.threads.priority[i] as usize] += cycles.0;
+                        }
                         self.current_label = label;
+                        if self.flame_period != 0 {
+                            self.flame_charge(self.now, end, label);
+                        }
                         self.now = end;
                         self.sim_events += 1;
                         self.batched_steps += 1;
@@ -2313,6 +2518,17 @@ impl Kernel {
             tcb.last_wait_timed_out = false;
             tcb.readied_at = Some(now);
             tcb.waits_satisfied += 1;
+        }
+        // Blame armed: snapshot the cycle ledgers at ready time. The
+        // resume emit takes the deltas, which sum bit-exactly to the
+        // window because every elapsed cycle lands in exactly one ledger
+        // bucket (DESIGN.md §15). Plain copies — no allocation.
+        if self.wants(Interest::RESUME_BLAME) {
+            self.threads[i].blame_mark = Some(BlameMark {
+                account: self.account,
+                overhead: self.blame_overhead_cycles,
+                prio: self.blame_prio_cycles,
+            });
         }
         // NT dispatcher: dynamic-band threads get a wakeup boost; the
         // real-time band never does.

@@ -88,7 +88,7 @@ pub mod prelude {
         config::KernelConfig,
         dpc::{DpcDiscipline, DpcImportance},
         env::{samplers, EnvAction, EnvSource, Sampler},
-        flight::{chrome_document, FlightEvent, FlightRecorder},
+        flight::{chrome_document, chrome_events_slice, FlightEvent, FlightRecorder},
         ids::{
             DpcId, EventId, IrpId, SemId, Slot, SourceId, ThreadId, TimerId, VectorId, WaitObject,
         },
@@ -99,8 +99,8 @@ pub mod prelude {
         metrics::{MetricValue, MetricsSnapshot},
         object::EventKind,
         observer::{
-            CalendarPop, CalendarPopKind, DpcStart, Interest, IsrEnter, Observer, QuantumExpiry,
-            ThreadResume,
+            BlameBreakdown, CalendarPop, CalendarPopKind, DpcStart, Interest, IsrEnter, Observer,
+            QuantumExpiry, ResumeBlame, ThreadResume,
         },
         step::{Blackboard, FnProgram, LoopSeq, OpSeq, Program, Step, StepCtx},
         thread::{ThreadState, RT_DEFAULT_PRIORITY, RT_HIGH_PRIORITY},

@@ -94,6 +94,58 @@ pub struct ThreadResume {
     pub started: Instant,
 }
 
+/// Cycle-exact decomposition of one thread-resume latency window.
+///
+/// Every cycle the kernel advances is charged to exactly one
+/// [`crate::kernel::CycleAccount`] bucket, and — while blame is armed —
+/// thread cycles are further split into dispatch overhead and a
+/// per-priority table. The breakdown is the delta of those ledgers over
+/// `[readied, started]`, so the components **sum bit-exactly to the
+/// sample's latency in cycles** by construction (no timeline walk, no
+/// rounding). DESIGN.md §15.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlameBreakdown {
+    /// Cycles spent in ISRs (entry/exit overhead included).
+    pub isr: u64,
+    /// Cycles spent in DPC routines and the DPC drain loop.
+    pub dpc: u64,
+    /// Cycles the environment held interrupts off or a non-preemptible
+    /// kernel section blocked dispatch (IRQL-masked wait).
+    pub masked: u64,
+    /// Scheduler dispatch and context-switch overhead cycles.
+    pub dispatch: u64,
+    /// Cycles a strictly higher-priority thread held the CPU (preemption).
+    pub preempt: u64,
+    /// Cycles an equal- or lower-priority thread held the CPU — peers
+    /// finishing their quantum ahead of the blamed thread.
+    pub quantum: u64,
+    /// Idle cycles inside the window (decision-loop residue; normally 0).
+    pub idle: u64,
+}
+
+impl BlameBreakdown {
+    /// Sum of all components — exactly `started - readied` in cycles.
+    pub fn total(&self) -> u64 {
+        self.isr + self.dpc + self.masked + self.dispatch + self.preempt + self.quantum + self.idle
+    }
+}
+
+/// Emitted alongside [`ThreadResume`] when blame attribution is armed:
+/// the same latency window plus its exact component decomposition.
+#[derive(Debug, Clone, Copy)]
+pub struct ResumeBlame {
+    /// Which thread.
+    pub thread: ThreadId,
+    /// The thread's priority at resume time.
+    pub priority: u8,
+    /// When the signaling code readied it.
+    pub readied: Instant,
+    /// When it executed its first post-wait instruction.
+    pub started: Instant,
+    /// Where every cycle of `started - readied` went.
+    pub breakdown: BlameBreakdown,
+}
+
 /// Bitmask of event kinds an [`Observer`] consumes — one bit per hook.
 ///
 /// The kernel folds every registered observer's mask into a union at
@@ -121,11 +173,15 @@ impl Interest {
     pub const CALENDAR_POP: Interest = Interest(1 << 5);
     /// [`Observer::on_quantum_expiry`].
     pub const QUANTUM_EXPIRY: Interest = Interest(1 << 6);
+    /// [`Observer::on_resume_blame`]. Arming this bit also turns on the
+    /// kernel's per-priority thread-cycle ledger (the only event kind with
+    /// a recording side; still one branch per charge site when off).
+    pub const RESUME_BLAME: Interest = Interest(1 << 7);
     /// Every event kind (the default for observers that do not narrow).
-    pub const ALL: Interest = Interest(0b111_1111);
+    pub const ALL: Interest = Interest(0b1111_1111);
 
     /// The number of distinct event kinds (bits in [`Interest::ALL`]).
-    pub const KINDS: usize = 7;
+    pub const KINDS: usize = 8;
 
     /// True if this mask includes any kind of `other`.
     pub const fn contains(self, other: Interest) -> bool {
@@ -202,6 +258,10 @@ pub trait Observer {
 
     /// A thread's quantum expired (round-robin or in-place refresh).
     fn on_quantum_expiry(&mut self, _e: &QuantumExpiry) {}
+
+    /// A thread resumed, with the exact blame decomposition of its wait.
+    /// Only fires for observers that arm [`Interest::RESUME_BLAME`].
+    fn on_resume_blame(&mut self, _e: &ResumeBlame) {}
 }
 
 #[cfg(test)]
@@ -243,6 +303,28 @@ mod tests {
             descheduled: false,
             at: Instant(4),
         });
+        n.on_resume_blame(&ResumeBlame {
+            thread: ThreadId(0),
+            priority: 24,
+            readied: Instant(0),
+            started: Instant(5),
+            breakdown: BlameBreakdown::default(),
+        });
+    }
+
+    #[test]
+    fn blame_breakdown_totals_components() {
+        let b = BlameBreakdown {
+            isr: 1,
+            dpc: 2,
+            masked: 4,
+            dispatch: 8,
+            preempt: 16,
+            quantum: 32,
+            idle: 64,
+        };
+        assert_eq!(b.total(), 127);
+        assert_eq!(BlameBreakdown::default().total(), 0);
     }
 
     #[test]
@@ -279,6 +361,7 @@ mod tests {
             Interest::CONTEXT_SWITCH,
             Interest::CALENDAR_POP,
             Interest::QUANTUM_EXPIRY,
+            Interest::RESUME_BLAME,
         ];
         assert_eq!(kinds.len(), Interest::KINDS);
         for (i, k) in kinds.into_iter().enumerate() {

@@ -85,6 +85,10 @@ pub struct Tcb {
     pub dispatch_count: u64,
     /// Number of waits satisfied.
     pub waits_satisfied: u64,
+    /// Blame-ledger snapshot taken when the thread was last readied, set
+    /// only while an observer arms `Interest::RESUME_BLAME` (inline copy,
+    /// no allocation).
+    pub(crate) blame_mark: Option<crate::kernel::BlameMark>,
 }
 
 impl Tcb {
@@ -110,6 +114,7 @@ impl Tcb {
             last_wait_index: 0,
             dispatch_count: 0,
             waits_satisfied: 0,
+            blame_mark: None,
         }
     }
 }
